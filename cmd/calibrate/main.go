@@ -1,0 +1,71 @@
+// Command calibrate runs each SPEC CPU2006 surrogate in isolation on
+// the paper's baseline machine (2MB LLC, no prefetching) and prints the
+// Table I analogue: L1 (I+D combined), L2, and LLC misses per
+// kilo-instruction, next to the paper's numbers. Use it when tuning
+// workload profiles.
+//
+// Usage:
+//
+//	calibrate [-n instructions] [-w warmup] [-bench name]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"tlacache/internal/hierarchy"
+	"tlacache/internal/sim"
+	"tlacache/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("calibrate: ")
+	n := flag.Uint64("n", 2_000_000, "measured instructions per benchmark")
+	w := flag.Uint64("w", 4_000_000, "warmup instructions per benchmark")
+	bench := flag.String("bench", "", "single benchmark tag (default: all)")
+	mode := flag.String("inclusion", "inclusive", "inclusive | non-inclusive | exclusive")
+	flag.Parse()
+
+	cfg := sim.DefaultConfig(1)
+	cfg.Instructions = *n
+	cfg.Warmup = *w
+	cfg.Hierarchy.EnablePrefetch = false // Table I: no prefetcher
+	switch *mode {
+	case "inclusive":
+		cfg.Hierarchy.Inclusion = hierarchy.Inclusive
+	case "non-inclusive":
+		cfg.Hierarchy.Inclusion = hierarchy.NonInclusive
+	case "exclusive":
+		cfg.Hierarchy.Inclusion = hierarchy.Exclusive
+	default:
+		log.Fatalf("unknown inclusion mode %q", *mode)
+	}
+
+	bs := workload.All()
+	if *bench != "" {
+		b, err := workload.ByName(*bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bs = []workload.Benchmark{b}
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "bench\tcat\tL1 MPKI\t(paper)\tL2 MPKI\t(paper)\tLLC MPKI\t(paper)\tIPC")
+	for _, b := range bs {
+		res, err := sim.RunIsolation(cfg, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			b.Name, b.Category, res.L1MPKI, b.Paper.L1, res.L2MPKI, b.Paper.L2,
+			res.LLCMPKI, b.Paper.LLC, res.IPC)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run figure7 [-pairs] [-n 800000] [-w 1500000] [-v]
+//	experiments -run all -out results/
+//
+// Each experiment prints plain-text tables; -out additionally writes
+// one CSV per table into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tlacache/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "", "experiment name or 'all'")
+	pairs := flag.Bool("pairs", false, "use all 105 workload pairs instead of the 12 Table II mixes")
+	n := flag.Uint64("n", 0, "measured instructions per core (0 = default)")
+	w := flag.Uint64("w", 0, "warmup instructions per core (0 = default)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	verbose := flag.Bool("v", false, "print per-run progress")
+	out := flag.String("out", "", "directory for CSV output (optional)")
+	jsonOut := flag.Bool("json", false, "emit tables as JSON instead of text")
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.Registry() {
+			fmt.Printf("  %-12s %s\n", e.Name, e.Desc)
+		}
+		if *run == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := experiments.DefaultOptions()
+	opts.AllPairs = *pairs
+	opts.Seed = *seed
+	if *n != 0 {
+		opts.Instructions = *n
+	}
+	if *w != 0 {
+		opts.Warmup = *w
+	}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+
+	var names []string
+	if *run == "all" {
+		for _, e := range experiments.Registry() {
+			names = append(names, e.Name)
+		}
+	} else {
+		names = strings.Split(*run, ",")
+	}
+
+	for _, name := range names {
+		runner, err := experiments.ByName(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		tables, err := runner(opts)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		for i := range tables {
+			if *jsonOut {
+				if err := tables[i].WriteJSON(os.Stdout); err != nil {
+					log.Fatal(err)
+				}
+			} else if err := tables[i].Render(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			if *out != "" {
+				if err := writeCSV(*out, &tables[i]); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func writeCSV(dir string, t *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

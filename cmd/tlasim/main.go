@@ -1,0 +1,217 @@
+// Command tlasim runs one workload mix on one machine configuration and
+// prints a detailed report: per-application IPC and MPKI, hierarchy
+// traffic, and inclusion-victim counts. It is the interactive
+// counterpart to cmd/experiments.
+//
+// Usage:
+//
+//	tlasim -mix sje,lib -policy qbs
+//	tlasim -mix MIX_10 -policy baseline -llc 1MB
+//	tlasim -mix dea,mcf,sje,lib -policy non-inclusive
+//	tlasim -trace a.tlat,b.tlat -policy qbs      # replay recorded traces
+//	tlasim -profile mine.json,mine.json          # custom JSON workloads
+//
+// -mix takes either a Table II mix name (MIX_00 … MIX_11) or a
+// comma-separated benchmark list (one per core). -trace replays binary
+// traces captured with cmd/tracegen; -profile loads trace.Profile JSON
+// definitions. The three sources are mutually exclusive.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"tlacache/internal/cli"
+	"tlacache/internal/sim"
+	"tlacache/internal/trace"
+	"tlacache/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tlasim: ")
+	mixArg := flag.String("mix", "", "Table II mix name or comma-separated benchmark tags")
+	traceArg := flag.String("trace", "", "comma-separated TLAT1 trace files, one per core")
+	profileArg := flag.String("profile", "", "comma-separated profile JSON files, one per core")
+	policy := flag.String("policy", "baseline", strings.Join(cli.PolicyNames(), " | "))
+	jsonOut := flag.Bool("json", false, "emit the result as JSON")
+	llc := flag.String("llc", "", "LLC size override, e.g. 1MB, 4MB (default 1MB per core)")
+	n := flag.Uint64("n", 1_000_000, "measured instructions per core")
+	w := flag.Uint64("w", 1_500_000, "warmup instructions per core")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	noPrefetch := flag.Bool("no-prefetch", false, "disable the stream prefetcher")
+	listBench := flag.Bool("list", false, "list benchmarks and mixes, then exit")
+	flag.Parse()
+
+	if *listBench {
+		fmt.Println("benchmarks:")
+		for _, b := range workload.All() {
+			fmt.Printf("  %-4s %-16s %s\n", b.Name, b.FullName, b.Category)
+		}
+		fmt.Println("mixes:")
+		for _, m := range workload.TableIIMixes() {
+			fmt.Printf("  %-7s %-9s %s\n", m.Name, strings.Join(m.Apps, ","), m.Categories())
+		}
+		return
+	}
+
+	sources := 0
+	for _, s := range []string{*mixArg, *traceArg, *profileArg} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources > 1 {
+		log.Fatal("-mix, -trace, and -profile are mutually exclusive")
+	}
+	if sources == 0 {
+		*mixArg = "sje,lib"
+	}
+
+	// Determine the core count from the chosen workload source.
+	var mix workload.Mix
+	var streams []trace.Generator
+	var err error
+	switch {
+	case *traceArg != "":
+		if streams, err = loadTraces(strings.Split(*traceArg, ",")); err != nil {
+			log.Fatal(err)
+		}
+	case *profileArg != "":
+		if streams, err = loadProfiles(strings.Split(*profileArg, ","), *seed); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		if mix, err = cli.ResolveMix(*mixArg); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cores := len(mix.Apps)
+	if streams != nil {
+		cores = len(streams)
+	}
+	cfg := sim.DefaultConfig(cores)
+	cfg.Instructions = *n
+	cfg.Warmup = *w
+	cfg.Seed = *seed
+	cfg.Hierarchy.EnablePrefetch = !*noPrefetch
+	if err := cli.ApplyPolicy(&cfg.Hierarchy, *policy); err != nil {
+		log.Fatal(err)
+	}
+	if *llc != "" {
+		size, err := cli.ParseSize(*llc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Hierarchy.LLCSize = size
+	}
+
+	var res sim.MixResult
+	if streams != nil {
+		res, err = sim.RunGenerators(cfg, streams)
+	} else {
+		res, err = sim.RunMix(cfg, mix)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	report(cfg, res)
+}
+
+// loadTraces opens TLAT1 files as looping replay generators.
+func loadTraces(paths []string) ([]trace.Generator, error) {
+	out := make([]trace.Generator, len(paths))
+	for i, path := range paths {
+		path = strings.TrimSpace(path)
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		r, err := trace.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		recs, err := r.ReadAll()
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if out[i], err = trace.NewReplay(path, recs); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return out, nil
+}
+
+// loadProfiles builds synthetic generators from JSON profile files.
+func loadProfiles(paths []string, seed uint64) ([]trace.Generator, error) {
+	out := make([]trace.Generator, len(paths))
+	for i, path := range paths {
+		path = strings.TrimSpace(path)
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		p, err := trace.LoadProfile(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if out[i], err = trace.NewSynthetic(p, seed+uint64(i)*0x9e37); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return out, nil
+}
+
+func report(cfg sim.Config, res sim.MixResult) {
+	h := cfg.Hierarchy
+	fmt.Printf("machine: %d cores, LLC %dKB %d-way %s (%s), policy %s, prefetch %v\n",
+		h.Cores, h.LLCSize>>10, h.LLCAssoc, h.LLCPolicy, h.Inclusion, h.TLA, h.EnablePrefetch)
+	fmt.Printf("mix %s: %s (%s)\n\n", res.Mix.Name, strings.Join(res.Mix.Apps, ","), res.Mix.Categories())
+
+	tw := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "core\tbench\tIPC\tL1 MPKI\tL2 MPKI\tLLC MPKI\tincl.victims")
+	for i, a := range res.Apps {
+		fmt.Fprintf(tw, "%d\t%s\t%.3f\t%.2f\t%.2f\t%.2f\t%d\n",
+			i, a.Benchmark, a.IPC, a.L1MPKI, a.L2MPKI, a.LLCMPKI, a.InclusionVictims)
+	}
+	tw.Flush()
+
+	t := res.Traffic
+	fmt.Printf("\nthroughput           %.3f\n", res.Throughput)
+	fmt.Printf("demand LLC misses    %d\n", res.LLCMisses)
+	fmt.Printf("inclusion victims    %d\n", res.InclusionVictims)
+	fmt.Printf("back-invalidates     %d\n", t.BackInvalidates)
+	fmt.Printf("memory reads/writes  %d / %d\n", t.MemoryReads, t.WritebacksToMem)
+	if t.TLHSent > 0 {
+		fmt.Printf("TLH hints sent       %d\n", t.TLHSent)
+	}
+	if t.ECISent > 0 {
+		fmt.Printf("ECI sent/invalidated %d / %d\n", t.ECISent, t.ECIInvalidated)
+	}
+	if t.QBSQueries > 0 {
+		fmt.Printf("QBS queries/saves    %d / %d\n", t.QBSQueries, t.QBSSaves)
+	}
+	if t.PrefetchIssued > 0 {
+		fmt.Printf("prefetches issued    %d (fills %d)\n", t.PrefetchIssued, t.PrefetchFills)
+	}
+	if t.VictimCacheHits > 0 {
+		fmt.Printf("victim cache hits    %d\n", t.VictimCacheHits)
+	}
+}

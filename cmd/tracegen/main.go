@@ -1,0 +1,137 @@
+// Command tracegen captures synthetic workload streams into the binary
+// TLAT1 trace format and inspects existing trace files, so workloads
+// can be archived, diffed, or replayed outside the synthetic
+// generators.
+//
+// Usage:
+//
+//	tracegen -bench mcf -n 1000000 -o mcf.tlat
+//	tracegen -inspect mcf.tlat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"tlacache/internal/trace"
+	"tlacache/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	bench := flag.String("bench", "", "benchmark tag to capture")
+	n := flag.Uint64("n", 1_000_000, "instructions to capture")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	out := flag.String("o", "", "output trace file")
+	inspect := flag.String("inspect", "", "trace file to summarise")
+	flag.Parse()
+
+	switch {
+	case *inspect != "":
+		if err := inspectTrace(*inspect); err != nil {
+			log.Fatal(err)
+		}
+	case *bench != "" && *out != "":
+		if err := capture(*bench, *out, *n, *seed); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: tracegen -bench <tag> -o <file> [-n N] | tracegen -inspect <file>")
+		os.Exit(2)
+	}
+}
+
+func capture(bench, out string, n, seed uint64) error {
+	b, err := workload.ByName(bench)
+	if err != nil {
+		return err
+	}
+	g, err := b.NewGenerator(seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	var in trace.Instr
+	for i := uint64(0); i < n; i++ {
+		g.Next(&in)
+		if err := w.Write(in); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d instructions of %s to %s (%d bytes, %.2f B/instr)\n",
+		w.Count(), bench, out, st.Size(), float64(st.Size())/float64(w.Count()))
+	return nil
+}
+
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var in trace.Instr
+	var count, loads, stores uint64
+	minPC, maxPC := ^uint64(0), uint64(0)
+	dataLines := map[uint64]struct{}{}
+	for {
+		err := r.Read(&in)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		count++
+		if in.PC < minPC {
+			minPC = in.PC
+		}
+		if in.PC > maxPC {
+			maxPC = in.PC
+		}
+		switch in.Op {
+		case trace.OpLoad:
+			loads++
+		case trace.OpStore:
+			stores++
+		}
+		if in.Op != trace.OpNone {
+			dataLines[in.Addr>>6] = struct{}{}
+		}
+	}
+	if count == 0 {
+		return fmt.Errorf("trace %s is empty", path)
+	}
+	fmt.Printf("%s: %d instructions\n", path, count)
+	fmt.Printf("  loads  %d (%.1f%%)\n", loads, 100*float64(loads)/float64(count))
+	fmt.Printf("  stores %d (%.1f%%)\n", stores, 100*float64(stores)/float64(count))
+	fmt.Printf("  code   [%#x, %#x] (%d bytes)\n", minPC, maxPC, maxPC-minPC+4)
+	fmt.Printf("  data   %d distinct 64B lines (%.1f KB footprint)\n",
+		len(dataLines), float64(len(dataLines))*64/1024)
+	return nil
+}

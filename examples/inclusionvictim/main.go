@@ -1,0 +1,91 @@
+// Inclusionvictim walks through the paper's Figure 3 on a toy machine:
+// a 2-entry fully-associative L1 over a 4-entry fully-associative LLC,
+// fed the reference pattern  a, b, a, c, a, d, a, e, a.
+//
+// Under the inclusive baseline the reference to 'e' evicts the hot line
+// 'a' from the LLC and — by inclusion — from the L1: an inclusion
+// victim. TLH, ECI, and QBS each prevent the damage in their own way.
+//
+// Run with: go run ./examples/inclusionvictim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tlacache/internal/cache"
+	"tlacache/internal/hierarchy"
+	"tlacache/internal/replacement"
+)
+
+var names = map[uint64]string{}
+
+func toy(tla hierarchy.TLAPolicy) *hierarchy.Hierarchy {
+	cfg := hierarchy.DefaultConfig(1)
+	cfg.L1ISize, cfg.L1IAssoc = 128, 2
+	cfg.L1DSize, cfg.L1DAssoc = 128, 2
+	cfg.L2Size, cfg.L2Assoc = 128, 2
+	cfg.LLCSize, cfg.LLCAssoc = 256, 4
+	cfg.LLCPolicy = replacement.LRU // the figure shows LRU chains
+	cfg.TLA = tla
+	if tla == hierarchy.TLATLH {
+		cfg.TLHSources = hierarchy.L1Caches
+	}
+	h, err := hierarchy.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return h
+}
+
+func contents(h *hierarchy.Hierarchy) (l1, llc string) {
+	h.L1D(0).ForEachValid(func(line cache.Line) { l1 += names[line.Addr] })
+	h.LLC().ForEachValid(func(line cache.Line) { llc += names[line.Addr] })
+	return l1, llc
+}
+
+func main() {
+	log.SetFlags(0)
+	lines := []uint64{0x000, 0x040, 0x080, 0x0c0, 0x100}
+	for i, l := range lines {
+		names[l] = string(rune('a' + i))
+	}
+	a, b, c, d, e := lines[0], lines[1], lines[2], lines[3], lines[4]
+	pattern := []uint64{a, b, a, c, a, d, a, e, a}
+
+	policies := []struct {
+		name string
+		tla  hierarchy.TLAPolicy
+	}{
+		{"baseline (Figure 3a)", hierarchy.TLANone},
+		{"TLH      (Figure 3b)", hierarchy.TLATLH},
+		{"ECI      (Figure 3c)", hierarchy.TLAECI},
+		{"QBS      (Figure 3d)", hierarchy.TLAQBS},
+	}
+	for _, p := range policies {
+		h := toy(p.tla)
+		fmt.Printf("--- %s ---\n", p.name)
+		for _, addr := range pattern {
+			res := h.Access(0, hierarchy.Load, addr)
+			l1, llc := contents(h)
+			fmt.Printf("ref %s: served by %-7s  L1={%s}  LLC={%s}\n",
+				names[addr], level(res.Level), l1, llc)
+		}
+		fmt.Printf("inclusion victims: %d\n\n", h.TotalInclusionVictims())
+	}
+	fmt.Println("Only the baseline loses hot line 'a' to an inclusion victim;")
+	fmt.Println("its final reference to 'a' goes all the way to memory.")
+}
+
+func level(l hierarchy.Level) string {
+	switch l {
+	case hierarchy.LevelL1:
+		return "L1"
+	case hierarchy.LevelL2:
+		return "L2"
+	case hierarchy.LevelLLC:
+		return "LLC"
+	default:
+		return "memory"
+	}
+}

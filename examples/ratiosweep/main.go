@@ -1,0 +1,53 @@
+// Ratiosweep reproduces the story of the paper's Figures 2 and 10 in
+// miniature: as the LLC shrinks relative to the core caches (1:16 down
+// to 1:2), the inclusive baseline falls further behind non-inclusion —
+// and QBS keeps up with non-inclusion at every ratio.
+//
+// Run with: go run ./examples/ratiosweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"tlacache"
+)
+
+func main() {
+	log.SetFlags(0)
+	const ccf, llct = "h26", "gob" // the paper's MIX_05
+
+	tw := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "L2:LLC ratio\tLLC\tQBS vs inclusive\tnon-inclusive vs inclusive")
+	for _, sz := range []struct {
+		bytes int64
+		ratio string
+	}{
+		{1 << 20, "1:2"}, {2 << 20, "1:4"}, {4 << 20, "1:8"}, {8 << 20, "1:16"},
+	} {
+		run := func(p tlacache.Policy) float64 {
+			m, err := tlacache.NewMachine(2,
+				tlacache.WithPolicy(p),
+				tlacache.WithLLCSize(sz.bytes),
+				tlacache.WithBudget(400_000, 1_000_000))
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := m.RunMix(ccf, llct)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return res.Throughput
+		}
+		base := run(tlacache.PolicyBaseline)
+		qbs := run(tlacache.PolicyQBS)
+		noninc := run(tlacache.PolicyNonInclusive)
+		fmt.Fprintf(tw, "%s\t%dMB\t%+.1f%%\t%+.1f%%\n",
+			sz.ratio, sz.bytes>>20, 100*(qbs/base-1), 100*(noninc/base-1))
+	}
+	tw.Flush()
+	fmt.Println("\nSmaller ratios (left column) mean a smaller LLC relative to the")
+	fmt.Println("core caches: inclusion victims get worse, and so does the win from QBS.")
+}

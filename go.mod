@@ -1,0 +1,3 @@
+module tlacache
+
+go 1.22

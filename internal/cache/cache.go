@@ -1,0 +1,293 @@
+// Package cache implements the set-associative cache structure shared by
+// every level of the simulated hierarchy. It is a pure mechanism: tags,
+// validity, dirty bits, per-line presence (directory) bits, and pluggable
+// replacement state. Policy decisions — inclusion, back-invalidation,
+// temporal-locality hints, query based selection — live in
+// internal/hierarchy, which drives caches through the low-level
+// operations exposed here.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"tlacache/internal/replacement"
+)
+
+// Line is one cache line's bookkeeping state. Addr is the line-aligned
+// physical address (we store the full address rather than a tag so that
+// victims and back-invalidations can be expressed in terms of addresses
+// without reconstructing them from set/tag pairs).
+type Line struct {
+	Addr     uint64
+	Valid    bool
+	Dirty    bool
+	Presence uint64 // LLC directory: bit c set => core c may hold the line
+}
+
+// Config describes a cache's geometry and replacement policy.
+type Config struct {
+	Name     string // for error messages and stats dumps, e.g. "L1D"
+	Size     int64  // total capacity in bytes
+	Assoc    int    // ways per set
+	LineSize int64  // bytes per line; must match across a hierarchy
+	Policy   replacement.Kind
+}
+
+// Stats counts the structural events a cache observes. Access-level
+// hit/miss accounting lives in the hierarchy, which knows about demand
+// vs. prefetch vs. hint traffic; these counters cover what only the
+// cache itself can see.
+type Stats struct {
+	Fills         uint64 // lines allocated
+	Evictions     uint64 // valid lines displaced by fills
+	DirtyEvicts   uint64 // evictions that required a writeback
+	Invalidations uint64 // valid lines removed by Invalidate
+}
+
+// Cache is a set-associative cache. It is not safe for concurrent use;
+// the simulator is single-goroutine by design (determinism).
+type Cache struct {
+	cfg      Config
+	numSets  int
+	offBits  uint
+	setMask  uint64
+	sets     [][]Line
+	policy   replacement.Policy
+	numLines int
+
+	Stats Stats
+}
+
+// New builds a cache from cfg. It returns an error when the geometry is
+// inconsistent (sizes not powers of two, capacity not divisible into
+// sets, and so on) so that configuration mistakes surface immediately.
+func New(cfg Config) (*Cache, error) {
+	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		return nil, fmt.Errorf("cache %s: line size %d is not a positive power of two", cfg.Name, cfg.LineSize)
+	}
+	if cfg.Assoc <= 0 {
+		return nil, fmt.Errorf("cache %s: associativity %d must be positive", cfg.Name, cfg.Assoc)
+	}
+	if cfg.Size <= 0 || cfg.Size%(cfg.LineSize*int64(cfg.Assoc)) != 0 {
+		return nil, fmt.Errorf("cache %s: size %d is not a multiple of assoc %d x line %d",
+			cfg.Name, cfg.Size, cfg.Assoc, cfg.LineSize)
+	}
+	numSets := int(cfg.Size / (cfg.LineSize * int64(cfg.Assoc)))
+	if numSets&(numSets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: %d sets is not a power of two", cfg.Name, numSets)
+	}
+	c := &Cache{
+		cfg:      cfg,
+		numSets:  numSets,
+		offBits:  uint(bits.TrailingZeros64(uint64(cfg.LineSize))),
+		setMask:  uint64(numSets - 1),
+		sets:     make([][]Line, numSets),
+		policy:   replacement.New(cfg.Policy, numSets, cfg.Assoc),
+		numLines: numSets * cfg.Assoc,
+	}
+	lines := make([]Line, c.numLines)
+	for s := range c.sets {
+		c.sets[s], lines = lines[:cfg.Assoc:cfg.Assoc], lines[cfg.Assoc:]
+	}
+	return c, nil
+}
+
+// MustNew is New for static configurations known to be valid; it panics
+// on error.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the configuration the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return c.numSets }
+
+// LineAddr returns addr rounded down to its line boundary.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.offBits << c.offBits }
+
+// SetIndex returns the set addr maps to.
+func (c *Cache) SetIndex(addr uint64) int { return int(addr >> c.offBits & c.setMask) }
+
+// Probe looks addr up without touching replacement state or statistics.
+// It returns the way holding the line and true, or false when absent.
+func (c *Cache) Probe(addr uint64) (way int, ok bool) {
+	la := c.LineAddr(addr)
+	set := c.sets[c.SetIndex(addr)]
+	for w := range set {
+		if set[w].Valid && set[w].Addr == la {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether addr's line is present and valid.
+func (c *Cache) Contains(addr uint64) bool {
+	_, ok := c.Probe(addr)
+	return ok
+}
+
+// Touch promotes the line holding addr in the replacement order, as on
+// a hit or a temporal-locality hint. It reports whether the line was
+// present.
+func (c *Cache) Touch(addr uint64) bool {
+	way, ok := c.Probe(addr)
+	if !ok {
+		return false
+	}
+	c.policy.Touch(c.SetIndex(addr), way)
+	return true
+}
+
+// Line returns a copy of the line at (set, way).
+func (c *Cache) Line(set, way int) Line { return c.sets[set][way] }
+
+// SetDirty marks addr's line dirty (a store hit). It reports whether the
+// line was present.
+func (c *Cache) SetDirty(addr uint64) bool {
+	way, ok := c.Probe(addr)
+	if !ok {
+		return false
+	}
+	c.sets[c.SetIndex(addr)][way].Dirty = true
+	return true
+}
+
+// VictimWay returns the way that would be evicted next from set:
+// an invalid way when one exists (lowest index first), otherwise the
+// replacement policy's choice. It does not modify any state.
+func (c *Cache) VictimWay(set int) int {
+	ways := c.sets[set]
+	for w := range ways {
+		if !ways[w].Valid {
+			return w
+		}
+	}
+	return c.policy.Victim(set)
+}
+
+// PeekVictim returns a copy of the line VictimWay would displace.
+func (c *Cache) PeekVictim(set int) Line { return c.sets[set][c.VictimWay(set)] }
+
+// PromoteWay moves (set, way) to the most-protected replacement
+// position. Used by QBS when a query finds the candidate resident in a
+// core cache, and by hint processing when the line's set/way is already
+// known.
+func (c *Cache) PromoteWay(set, way int) { c.policy.Touch(set, way) }
+
+// DemoteWay marks (set, way) as the next victim candidate.
+func (c *Cache) DemoteWay(set, way int) { c.policy.Demote(set, way) }
+
+// Fill allocates addr's line into the cache, evicting the current
+// victim if the set is full. It returns the displaced line (evicted
+// reports whether it was valid). The new line is inserted clean with
+// the given presence mask; callers mark it dirty separately when the
+// triggering access is a store.
+func (c *Cache) Fill(addr uint64, presence uint64) (victim Line, evicted bool) {
+	set := c.SetIndex(addr)
+	way := c.VictimWay(set)
+	return c.FillWay(set, way, addr, presence)
+}
+
+// FillWay allocates addr's line into a specific way of set, returning
+// the displaced line. The hierarchy uses this when victim selection has
+// already been performed (e.g. after a QBS query chain).
+func (c *Cache) FillWay(set, way int, addr uint64, presence uint64) (victim Line, evicted bool) {
+	l := &c.sets[set][way]
+	victim, evicted = *l, l.Valid
+	if evicted {
+		c.Stats.Evictions++
+		if victim.Dirty {
+			c.Stats.DirtyEvicts++
+		}
+	}
+	*l = Line{Addr: c.LineAddr(addr), Valid: true, Presence: presence}
+	c.policy.Insert(set, way)
+	c.Stats.Fills++
+	return victim, evicted
+}
+
+// Invalidate removes addr's line if present and returns a copy of it.
+// Replacement state for the way is demoted so the hole is reused first.
+func (c *Cache) Invalidate(addr uint64) (line Line, ok bool) {
+	way, found := c.Probe(addr)
+	if !found {
+		return Line{}, false
+	}
+	set := c.SetIndex(addr)
+	line = c.sets[set][way]
+	c.sets[set][way] = Line{}
+	c.policy.Demote(set, way)
+	c.Stats.Invalidations++
+	return line, true
+}
+
+// Presence returns the presence mask of addr's line (0 when absent).
+func (c *Cache) Presence(addr uint64) uint64 {
+	way, ok := c.Probe(addr)
+	if !ok {
+		return 0
+	}
+	return c.sets[c.SetIndex(addr)][way].Presence
+}
+
+// AddPresence ORs bit core into addr's presence mask. It reports whether
+// the line was present.
+func (c *Cache) AddPresence(addr uint64, core int) bool {
+	way, ok := c.Probe(addr)
+	if !ok {
+		return false
+	}
+	c.sets[c.SetIndex(addr)][way].Presence |= 1 << uint(core)
+	return true
+}
+
+// ClearPresence zeroes addr's presence mask (used by ECI after early
+// invalidating a line from the core caches while retaining it in the
+// LLC). It reports whether the line was present.
+func (c *Cache) ClearPresence(addr uint64) bool {
+	way, ok := c.Probe(addr)
+	if !ok {
+		return false
+	}
+	c.sets[c.SetIndex(addr)][way].Presence = 0
+	return true
+}
+
+// ForEachValid calls fn for every valid line. Iteration order is
+// set-major, way-minor and deterministic.
+func (c *Cache) ForEachValid(fn func(Line)) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].Valid {
+				fn(c.sets[s][w])
+			}
+		}
+	}
+}
+
+// CountValid returns the number of valid lines.
+func (c *Cache) CountValid() int {
+	n := 0
+	c.ForEachValid(func(Line) { n++ })
+	return n
+}
+
+// Reset invalidates every line and zeroes statistics, preserving the
+// geometry and replacement policy kind.
+func (c *Cache) Reset() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = Line{}
+		}
+	}
+	c.policy = replacement.New(c.cfg.Policy, c.numSets, c.cfg.Assoc)
+	c.Stats = Stats{}
+}

@@ -1,0 +1,90 @@
+// Package cli holds the argument-parsing helpers shared by the command
+// line tools, kept out of the main packages so they are unit-testable.
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"tlacache/internal/hierarchy"
+	"tlacache/internal/workload"
+)
+
+// PolicyNames lists the -policy values accepted by ApplyPolicy.
+func PolicyNames() []string {
+	return []string{"baseline", "tlh", "tlh-l2", "eci", "qbs", "qbs-l1",
+		"qbs-modified", "non-inclusive", "exclusive"}
+}
+
+// ApplyPolicy mutates cfg to implement the named LLC management policy.
+func ApplyPolicy(cfg *hierarchy.Config, p string) error {
+	switch p {
+	case "baseline", "":
+	case "tlh":
+		cfg.TLA = hierarchy.TLATLH
+		cfg.TLHSources = hierarchy.L1Caches
+	case "tlh-l2":
+		cfg.TLA = hierarchy.TLATLH
+		cfg.TLHSources = hierarchy.L2C
+	case "eci":
+		cfg.TLA = hierarchy.TLAECI
+	case "qbs":
+		cfg.TLA = hierarchy.TLAQBS
+		cfg.QBSProbe = hierarchy.AllCaches
+	case "qbs-l1":
+		cfg.TLA = hierarchy.TLAQBS
+		cfg.QBSProbe = hierarchy.L1Caches
+	case "qbs-modified":
+		cfg.TLA = hierarchy.TLAQBS
+		cfg.QBSProbe = hierarchy.AllCaches
+		cfg.QBSEvictSaved = true
+	case "non-inclusive":
+		cfg.Inclusion = hierarchy.NonInclusive
+	case "exclusive":
+		cfg.Inclusion = hierarchy.Exclusive
+	default:
+		return fmt.Errorf("unknown policy %q (valid: %s)", p, strings.Join(PolicyNames(), ", "))
+	}
+	return nil
+}
+
+// ResolveMix turns a -mix argument — a Table II mix name (MIX_07) or a
+// comma-separated benchmark list — into a workload.Mix.
+func ResolveMix(arg string) (workload.Mix, error) {
+	if strings.HasPrefix(arg, "MIX_") {
+		for _, m := range workload.TableIIMixes() {
+			if m.Name == arg {
+				return m, nil
+			}
+		}
+		return workload.Mix{}, fmt.Errorf("unknown mix %q", arg)
+	}
+	apps := strings.Split(arg, ",")
+	for i := range apps {
+		apps[i] = strings.TrimSpace(apps[i])
+		if _, err := workload.ByName(apps[i]); err != nil {
+			return workload.Mix{}, err
+		}
+	}
+	return workload.Mix{Name: "CLI", Apps: apps}, nil
+}
+
+// ParseSize parses a byte size with an optional KB/MB suffix ("1MB",
+// "512KB", "4096").
+func ParseSize(s string) (int64, error) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "MB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MB")
+	case strings.HasSuffix(s, "KB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KB")
+	case strings.HasSuffix(s, "B"):
+		s = strings.TrimSuffix(s, "B")
+	}
+	var v int64
+	if _, err := fmt.Sscanf(s, "%d", &v); err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}

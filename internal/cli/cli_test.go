@@ -1,0 +1,83 @@
+package cli
+
+import (
+	"testing"
+
+	"tlacache/internal/hierarchy"
+)
+
+func TestApplyPolicyAllNames(t *testing.T) {
+	for _, name := range PolicyNames() {
+		cfg := hierarchy.DefaultConfig(2)
+		if err := ApplyPolicy(&cfg, name); err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: produced invalid config: %v", name, err)
+		}
+	}
+}
+
+func TestApplyPolicyEffects(t *testing.T) {
+	cfg := hierarchy.DefaultConfig(2)
+	if err := ApplyPolicy(&cfg, "qbs-modified"); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TLA != hierarchy.TLAQBS || !cfg.QBSEvictSaved {
+		t.Fatalf("qbs-modified misconfigured: %+v", cfg)
+	}
+	cfg = hierarchy.DefaultConfig(2)
+	if err := ApplyPolicy(&cfg, "exclusive"); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Inclusion != hierarchy.Exclusive {
+		t.Fatal("exclusive not applied")
+	}
+	cfg = hierarchy.DefaultConfig(2)
+	if err := ApplyPolicy(&cfg, ""); err != nil {
+		t.Fatal("empty policy must mean baseline")
+	}
+	if err := ApplyPolicy(&cfg, "bogus"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestResolveMix(t *testing.T) {
+	m, err := ResolveMix("MIX_10")
+	if err != nil || m.Apps[0] != "lib" || m.Apps[1] != "sje" {
+		t.Fatalf("MIX_10 = %+v, %v", m, err)
+	}
+	if _, err := ResolveMix("MIX_99"); err == nil {
+		t.Error("unknown mix accepted")
+	}
+	m, err = ResolveMix("dea, mcf")
+	if err != nil || len(m.Apps) != 2 || m.Apps[1] != "mcf" {
+		t.Fatalf("list mix = %+v, %v", m, err)
+	}
+	if _, err := ResolveMix("dea,nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"1MB":   1 << 20,
+		"512KB": 512 << 10,
+		"4096":  4096,
+		"2mb":   2 << 20,
+		" 8KB ": 8 << 10,
+		"64B":   64,
+	}
+	for in, want := range cases {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "MB", "-1MB", "0", "x4KB"} {
+		if _, err := ParseSize(bad); err == nil {
+			t.Errorf("ParseSize(%q) accepted", bad)
+		}
+	}
+}

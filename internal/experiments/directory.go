@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tlacache/internal/hierarchy"
+)
+
+// Directory ablates the LLC's per-line presence bits (the Core i7-style
+// back-invalidate filter of the paper's footnote 1): with broadcast
+// invalidation every LLC eviction probes every core. Throughput barely
+// moves — the messages always find the same lines — but the message
+// count shows what the directory buys.
+func Directory(o Options) ([]Table, error) {
+	broadcast := func(name string, tla hierarchy.TLAPolicy) Spec {
+		return Spec{Name: name, Apply: func(c *hierarchy.Config) {
+			c.TLA = tla
+			c.BroadcastInvalidate = true
+		}}
+	}
+	specs := []Spec{
+		baseline(),
+		broadcast("Inclusive+broadcast", hierarchy.TLANone),
+		qbs("QBS", hierarchy.AllCaches, 0),
+		broadcast("QBS+broadcast", hierarchy.TLAQBS),
+	}
+	o.progressf("directory: %d mixes x %d specs\n", len(o.mixes()), len(specs))
+	m, err := runMatrix(o, 2, o.mixes(), specs, nil)
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:      "directory",
+		Title:   "presence-directory ablation: filtered vs broadcast invalidation (2 cores)",
+		Columns: []string{"configuration", "throughput", "back-invalidates/KI", "QBS queries/KI"},
+		Notes: []string{"broadcast sends every invalidate/query to every core;",
+			"the directory filter cuts the messages without changing behaviour"},
+	}
+	instrK := 2 * float64(o.Instructions) / 1000
+	n := float64(len(m.mixes))
+	for j := 0; j < len(specs); j++ {
+		var backInv, queries float64
+		for i := range m.mixes {
+			backInv += float64(m.results[i][j].Traffic.BackInvalidates)
+			queries += float64(m.results[i][j].Traffic.QBSQueries)
+		}
+		t.Rows = append(t.Rows, []string{
+			m.specs[j].Name, pct(geoColumn(m, j)),
+			fmt.Sprintf("%.2f", backInv/n/instrK),
+			fmt.Sprintf("%.2f", queries/n/instrK),
+		})
+	}
+	return []Table{t}, nil
+}

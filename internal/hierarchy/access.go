@@ -1,0 +1,541 @@
+package hierarchy
+
+import (
+	"math/bits"
+
+	"tlacache/internal/cache"
+)
+
+// Result reports where a demand access was satisfied and its
+// load-to-use latency in cycles.
+type Result struct {
+	Level   Level
+	Latency uint64
+}
+
+// Access performs one demand access for core. addr is a byte address;
+// kind selects the instruction or data path and write-allocation. The
+// returned Result feeds the core timing model. With a banked LLC
+// configured, use AccessAt so queueing delays are computed against real
+// time; Access itself treats every access as arriving at cycle 0.
+func (h *Hierarchy) Access(core int, kind AccessKind, addr uint64) Result {
+	return h.AccessAt(core, kind, addr, 0)
+}
+
+// AccessAt is Access with the requesting core's current cycle, which
+// the banked-LLC model (Config.LLCBanks) uses to charge bank queueing
+// delays. The simulator's min-cycle core interleaving delivers accesses
+// in approximately global time order, which keeps the per-bank
+// next-free-cycle bookkeeping meaningful.
+func (h *Hierarchy) AccessAt(core int, kind AccessKind, addr uint64, now uint64) Result {
+	la := h.llc.LineAddr(addr)
+	cs := &h.Cores[core]
+
+	l1 := h.l1d[core]
+	l1Stats := &cs.L1D
+	src := DL1
+	if kind == IFetch {
+		l1, l1Stats, src = h.l1i[core], &cs.L1I, IL1
+	}
+
+	// L1 lookup.
+	l1Stats.Accesses++
+	if l1.Touch(la) {
+		if kind == Store {
+			l1.SetDirty(la)
+		}
+		h.maybeHint(src, la)
+		return Result{LevelL1, h.cfg.Latency.L1}
+	}
+	l1Stats.Misses++
+
+	// L2 lookup.
+	cs.L2.Accesses++
+	if h.l2[core].Touch(la) {
+		h.maybeHint(L2C, la)
+		h.fillL1(core, kind, la)
+		if kind == Store {
+			l1.SetDirty(la)
+		}
+		return Result{LevelL2, h.cfg.Latency.L2}
+	}
+	cs.L2.Misses++
+
+	res := h.accessLLC(core, kind, la, now)
+	if kind == Store {
+		l1.SetDirty(la)
+	}
+
+	// The stream prefetcher trains on L2 demand misses and fills the
+	// L2 (paper §IV-A). Prefetch fills happen after the demand fill so
+	// the demand line is already installed.
+	if h.pf != nil {
+		h.buf = h.pf[core].OnMiss(la, h.buf[:0])
+		h.Traffic.PrefetchIssued += uint64(len(h.buf))
+		for _, pa := range h.buf {
+			h.prefetchFill(core, pa)
+		}
+	}
+	return res
+}
+
+// accessLLC handles an access that missed the core caches: bank
+// queueing (when configured), LLC lookup, optional victim-cache lookup,
+// memory fetch, and the fills back down the hierarchy.
+func (h *Hierarchy) accessLLC(core int, kind AccessKind, la uint64, now uint64) Result {
+	var bankDelay uint64
+	if h.bankFree != nil {
+		bank := h.llc.SetIndex(la) % len(h.bankFree)
+		if h.bankFree[bank] > now {
+			bankDelay = h.bankFree[bank] - now
+			h.Traffic.BankConflictCycles += bankDelay
+		}
+		h.bankFree[bank] = now + bankDelay + h.bankOccupancy
+	}
+	res := h.lookupLLC(core, kind, la)
+	res.Latency += bankDelay
+	return res
+}
+
+// lookupLLC performs the functional LLC access.
+func (h *Hierarchy) lookupLLC(core int, kind AccessKind, la uint64) Result {
+	cs := &h.Cores[core]
+	cs.LLC.Accesses++
+
+	if way, ok := h.llc.Probe(la); ok {
+		set := h.llc.SetIndex(la)
+		if h.cfg.Inclusion == Exclusive {
+			// Exclusive hit path: the line moves up and the LLC copy
+			// is invalidated (paper §IV-A).
+			line := h.llc.Line(set, way)
+			h.llc.Invalidate(la)
+			h.fillL2(core, la)
+			if line.Dirty {
+				h.l2[core].SetDirty(la)
+			}
+		} else {
+			h.llc.PromoteWay(set, way)
+			h.llc.AddPresence(la, core)
+			h.fillL2(core, la)
+		}
+		h.fillL1(core, kind, la)
+		return Result{LevelLLC, h.cfg.Latency.LLC}
+	}
+	cs.LLC.Misses++
+
+	// Without inclusion, an LLC miss cannot rule out copies in other
+	// cores' caches: coherence must snoop them (the per-core address
+	// spaces here mean the snoops always miss, but the messages — the
+	// cost the paper's introduction weighs — are real).
+	if h.cfg.Inclusion != Inclusive && h.cfg.Cores > 1 {
+		h.Traffic.CoherenceSnoops += uint64(h.cfg.Cores - 1)
+	}
+
+	// Optional victim cache (paper §VI related-work comparison).
+	if h.vc != nil {
+		if dirty, ok := h.vc.remove(la); ok {
+			h.Traffic.VictimCacheHits++
+			if h.cfg.Inclusion == Exclusive {
+				h.fillL2(core, la)
+				if dirty {
+					h.l2[core].SetDirty(la)
+				}
+			} else {
+				h.fillLLC(core, la, dirty)
+				h.fillL2(core, la)
+			}
+			h.fillL1(core, kind, la)
+			return Result{LevelVictimCache, h.latency(LevelVictimCache)}
+		}
+	}
+
+	// Memory fetch.
+	h.Traffic.MemoryReads++
+	if h.cfg.Inclusion != Exclusive {
+		h.fillLLC(core, la, false)
+	}
+	h.fillL2(core, la)
+	h.fillL1(core, kind, la)
+	return Result{LevelMemory, h.cfg.Latency.Memory}
+}
+
+// fillL1 installs la into core's L1 (I or D side), writing a dirty
+// victim back to the L2.
+func (h *Hierarchy) fillL1(core int, kind AccessKind, la uint64) {
+	l1 := h.l1d[core]
+	if kind == IFetch {
+		l1 = h.l1i[core]
+	}
+	victim, evicted := l1.Fill(la, 0)
+	if evicted && victim.Dirty {
+		h.writebackToL2(core, victim.Addr)
+	}
+}
+
+// writebackToL2 merges a dirty L1 victim into the L2, allocating when
+// the L2 no longer holds the line (possible because the L2 is
+// non-inclusive of the L1s and may have silently evicted it).
+func (h *Hierarchy) writebackToL2(core int, addr uint64) {
+	l2 := h.l2[core]
+	if l2.SetDirty(addr) {
+		return
+	}
+	// In exclusive mode an allocation here can race a copy that already
+	// moved into the LLC (the L2 evicted the line while the L1 kept
+	// it); the newer L1 data wins and the stale LLC copy is dropped.
+	if h.cfg.Inclusion == Exclusive {
+		h.llc.Invalidate(addr)
+	}
+	h.allocL2(core, addr)
+	l2.SetDirty(addr)
+}
+
+// fillL2 installs la into core's L2 and records the core in the LLC
+// directory (inclusive/non-inclusive modes keep the LLC copy; the
+// exclusive mode has none).
+func (h *Hierarchy) fillL2(core int, la uint64) {
+	h.allocL2(core, la)
+	if h.cfg.Inclusion != Exclusive {
+		h.llc.AddPresence(la, core)
+	}
+}
+
+// allocL2 allocates la in core's L2: victim selection (QBS-at-L2 when
+// configured, the footnote 3 remedy), L2-inclusion enforcement, and
+// disposal of the displaced line. The new line is inserted clean.
+func (h *Hierarchy) allocL2(core int, la uint64) {
+	l2 := h.l2[core]
+	set := l2.SetIndex(la)
+	way := l2.VictimWay(set)
+	if h.cfg.L2QBS {
+		for q := 0; q < h.cfg.L2Assoc; q++ {
+			line := l2.Line(set, way)
+			if !line.Valid {
+				break
+			}
+			h.Traffic.L2QBSQueries++
+			if !h.l1i[core].Contains(line.Addr) && !h.l1d[core].Contains(line.Addr) {
+				break
+			}
+			h.Traffic.L2QBSSaves++
+			l2.PromoteWay(set, way)
+			next := l2.VictimWay(set)
+			if next == way {
+				break
+			}
+			way = next
+		}
+	}
+	victim := l2.Line(set, way)
+	if victim.Valid && h.cfg.L2Inclusive {
+		// The inclusive L2 back-invalidates its L1s; dirty L1 data
+		// merges into the departing L2 line.
+		h.Traffic.L2BackInvalidates++
+		removed := false
+		if l, ok := h.l1i[core].Invalidate(victim.Addr); ok {
+			removed = true
+			victim.Dirty = victim.Dirty || l.Dirty
+		}
+		if l, ok := h.l1d[core].Invalidate(victim.Addr); ok {
+			removed = true
+			victim.Dirty = victim.Dirty || l.Dirty
+		}
+		if removed {
+			h.Cores[core].L2InclusionVictims++
+		}
+	}
+	l2.FillWay(set, way, la, 0)
+	if victim.Valid {
+		h.handleL2Victim(victim)
+	}
+}
+
+// handleL2Victim disposes of a line evicted from an L2. In exclusive
+// mode every L2 victim — clean or dirty — inserts into the LLC (this is
+// the exclusive fill path and the source of its bandwidth cost). In the
+// other modes dirty victims write back to the LLC copy when it exists
+// and to memory otherwise; clean victims are dropped silently, which is
+// why LLC presence bits are a conservative superset.
+func (h *Hierarchy) handleL2Victim(victim cache.Line) {
+	if h.cfg.Inclusion == Exclusive {
+		h.insertLLCFromL2(victim)
+		return
+	}
+	if !victim.Dirty {
+		return
+	}
+	if !h.llc.SetDirty(victim.Addr) {
+		h.Traffic.WritebacksToMem++
+	}
+}
+
+// insertLLCFromL2 implements the exclusive LLC's fill-on-L2-eviction
+// path.
+func (h *Hierarchy) insertLLCFromL2(victim cache.Line) {
+	// Guard against the rare duplicate: an L1 writeback can reallocate
+	// a line into the L2 while the LLC already holds a copy.
+	if h.llc.Contains(victim.Addr) {
+		if victim.Dirty {
+			h.llc.SetDirty(victim.Addr)
+		}
+		return
+	}
+	// A line still resident in another core's L2 (a shared line) stays
+	// out of the exclusive LLC; dirty data that has no LLC home goes
+	// straight to memory. Same-core L1 copies may coexist with the LLC
+	// transiently (see CheckInvariants).
+	if h.residentInCores(victim.Addr, uint64(1)<<uint(h.cfg.Cores)-1, L2C) {
+		if victim.Dirty {
+			h.Traffic.WritebacksToMem++
+		}
+		return
+	}
+	set := h.llc.SetIndex(victim.Addr)
+	way := h.llc.VictimWay(set)
+	if old := h.llc.Line(set, way); old.Valid {
+		h.evictLLCLine(old)
+	}
+	h.llc.FillWay(set, way, victim.Addr, 0)
+	if victim.Dirty {
+		h.llc.SetDirty(victim.Addr)
+	}
+}
+
+// fillLLC allocates la in the LLC on a miss: victim selection (QBS when
+// configured), eviction with inclusion enforcement, the fill itself,
+// and ECI's early invalidation of the next candidate.
+func (h *Hierarchy) fillLLC(core int, la uint64, dirty bool) {
+	set := h.llc.SetIndex(la)
+	way := h.selectLLCVictim(set)
+	if old := h.llc.Line(set, way); old.Valid {
+		h.evictLLCLine(old)
+	}
+	h.llc.FillWay(set, way, la, 1<<uint(core))
+	if dirty {
+		h.llc.SetDirty(la)
+	}
+	if h.cfg.TLA == TLAECI {
+		h.earlyCoreInvalidate(set, la)
+	}
+}
+
+// selectLLCVictim picks the way fillLLC will displace. Under QBS it
+// implements the paper's query loop: while the candidate is resident in
+// a core cache (per the configured probe set), promote it to MRU and
+// try the next candidate, up to the query limit. Candidates whose
+// directory presence mask is empty are evicted without spending a
+// query — the directory already proves no core holds them.
+func (h *Hierarchy) selectLLCVictim(set int) int {
+	way := h.llc.VictimWay(set)
+	if h.cfg.TLA != TLAQBS {
+		return way
+	}
+	limit := h.cfg.QBSMaxQueries
+	if limit == 0 {
+		limit = h.cfg.LLCAssoc
+	}
+	for q := 0; q < limit; {
+		line := h.llc.Line(set, way)
+		presence := h.effectivePresence(line.Presence)
+		if !line.Valid || presence == 0 {
+			return way
+		}
+		h.Traffic.QBSQueries++
+		q++
+		if !h.residentInCores(line.Addr, presence, h.cfg.QBSProbe) {
+			return way
+		}
+		h.Traffic.QBSSaves++
+		h.llc.PromoteWay(set, way)
+		if h.cfg.QBSEvictSaved {
+			// Modified QBS (footnote 6): the saved line keeps its
+			// refreshed LLC state but is invalidated from the core
+			// caches, so the next reference becomes an LLC hit.
+			h.invalidateInCores(line.Addr, line.Presence)
+			h.llc.ClearPresence(line.Addr)
+		}
+		next := h.llc.VictimWay(set)
+		if next == way {
+			// Fixed point (possible under SRRIP when a whole set is
+			// near-immediate): promoting changed nothing, so further
+			// queries would repeat verbatim. Accept the candidate.
+			return way
+		}
+		way = next
+	}
+	return way
+}
+
+// effectivePresence widens a directory mask to all cores when the
+// broadcast-invalidate ablation is enabled.
+func (h *Hierarchy) effectivePresence(presence uint64) uint64 {
+	if h.cfg.BroadcastInvalidate {
+		return uint64(1)<<uint(h.cfg.Cores) - 1
+	}
+	return presence
+}
+
+// residentInCores reports whether any core named in the presence mask
+// holds addr in one of the caches selected by probe.
+func (h *Hierarchy) residentInCores(addr uint64, presence uint64, probe CacheSet) bool {
+	for presence != 0 {
+		c := bits.TrailingZeros64(presence)
+		presence &^= 1 << uint(c)
+		if probe&IL1 != 0 && h.l1i[c].Contains(addr) {
+			return true
+		}
+		if probe&DL1 != 0 && h.l1d[c].Contains(addr) {
+			return true
+		}
+		if probe&L2C != 0 && h.l2[c].Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// evictLLCLine retires a valid line leaving the LLC: inclusive mode
+// back-invalidates the core caches, the victim cache absorbs the line
+// when configured, and dirty data reaches memory.
+func (h *Hierarchy) evictLLCLine(victim cache.Line) {
+	dirty := victim.Dirty
+	if h.cfg.Inclusion == Inclusive {
+		if h.backInvalidate(victim.Addr, h.effectivePresence(victim.Presence)) {
+			dirty = true
+		}
+	}
+	if h.vc != nil {
+		h.Traffic.VictimCacheFills++
+		if evAddr, evDirty, evicted := h.vc.insert(victim.Addr, dirty); evicted && evDirty {
+			_ = evAddr
+			h.Traffic.WritebacksToMem++
+		}
+		return
+	}
+	if dirty {
+		h.Traffic.WritebacksToMem++
+	}
+}
+
+// backInvalidate removes addr from every core cache of the cores in the
+// presence mask, enforcing inclusion. It returns whether any removed
+// copy was dirty (the data merges into the departing LLC line). Each
+// core that loses a valid copy suffers one inclusion victim.
+func (h *Hierarchy) backInvalidate(addr uint64, presence uint64) (dirty bool) {
+	for presence != 0 {
+		c := bits.TrailingZeros64(presence)
+		presence &^= 1 << uint(c)
+		h.Traffic.BackInvalidates++
+		removed := false
+		if line, ok := h.l1i[c].Invalidate(addr); ok {
+			removed = true
+			dirty = dirty || line.Dirty
+		}
+		if line, ok := h.l1d[c].Invalidate(addr); ok {
+			removed = true
+			dirty = dirty || line.Dirty
+		}
+		if line, ok := h.l2[c].Invalidate(addr); ok {
+			removed = true
+			dirty = dirty || line.Dirty
+		}
+		if removed {
+			h.Cores[c].InclusionVictims++
+		}
+	}
+	return dirty
+}
+
+// earlyCoreInvalidate implements ECI: after the regular victim flow of
+// an LLC miss, the next potential victim is invalidated from the core
+// caches but retained in the LLC, so a prompt re-reference hits the LLC
+// and refreshes the line's replacement state (the "rescue"). justFilled
+// guards the degenerate direct-mapped case where the next victim is the
+// line just installed.
+func (h *Hierarchy) earlyCoreInvalidate(set int, justFilled uint64) {
+	way := h.llc.VictimWay(set)
+	line := h.llc.Line(set, way)
+	presence := h.effectivePresence(line.Presence)
+	if !line.Valid || line.Addr == justFilled || presence == 0 {
+		return
+	}
+	h.Traffic.ECISent++
+	h.Traffic.ECIInvalidated += uint64(h.invalidateInCores(line.Addr, presence))
+	h.llc.ClearPresence(line.Addr)
+}
+
+// invalidateInCores removes addr from the caches of every core in the
+// presence mask, merging dirty copies into the LLC line (which the
+// callers retain). It returns the number of cores that lost a valid
+// copy. Used by ECI and by the modified-QBS variant.
+func (h *Hierarchy) invalidateInCores(addr uint64, presence uint64) int {
+	removed := 0
+	for presence != 0 {
+		c := bits.TrailingZeros64(presence)
+		presence &^= 1 << uint(c)
+		any := false
+		for _, cc := range []*cache.Cache{h.l1i[c], h.l1d[c], h.l2[c]} {
+			if l, ok := cc.Invalidate(addr); ok {
+				any = true
+				if l.Dirty {
+					h.llc.SetDirty(addr)
+				}
+			}
+		}
+		if any {
+			removed++
+		}
+	}
+	return removed
+}
+
+// maybeHint delivers a temporal locality hint to the LLC for a hit in a
+// configured source cache. Sampling (TLHPerMille) uses a deterministic
+// counter so runs stay reproducible.
+func (h *Hierarchy) maybeHint(src CacheSet, la uint64) {
+	if h.cfg.TLA != TLATLH || h.cfg.TLHSources&src == 0 {
+		return
+	}
+	if per := h.cfg.TLHPerMille; per < 1000 {
+		h.hintClock++
+		if int(h.hintClock%1000) >= per {
+			return
+		}
+	}
+	h.Traffic.TLHSent++
+	h.llc.Touch(la)
+}
+
+// prefetchFill installs a prefetched line into the L2 (and, outside the
+// exclusive mode, into the LLC when absent, preserving inclusion).
+// Prefetches never perturb the demand statistics; only Traffic counters
+// move.
+func (h *Hierarchy) prefetchFill(core int, pa uint64) {
+	la := h.llc.LineAddr(pa)
+	if h.l2[core].Contains(la) {
+		return
+	}
+	h.Traffic.PrefetchFills++
+	switch h.cfg.Inclusion {
+	case Exclusive:
+		if way, ok := h.llc.Probe(la); ok {
+			line := h.llc.Line(h.llc.SetIndex(la), way)
+			h.llc.Invalidate(la)
+			h.fillL2(core, la)
+			if line.Dirty {
+				h.l2[core].SetDirty(la)
+			}
+			return
+		}
+		h.Traffic.MemoryReads++
+		h.fillL2(core, la)
+	default:
+		if way, ok := h.llc.Probe(la); ok {
+			h.llc.PromoteWay(h.llc.SetIndex(la), way)
+		} else {
+			h.Traffic.MemoryReads++
+			h.fillLLC(core, la, false)
+		}
+		h.fillL2(core, la)
+	}
+}

@@ -1,0 +1,612 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"tlacache/internal/replacement"
+)
+
+// tinyConfig reproduces Figure 3's toy machine: one core, a
+// fully-associative 2-entry L1 (I and D), a 2-entry L2 mirror, and a
+// fully-associative 4-entry LLC, all LRU.
+func tinyConfig() Config {
+	cfg := DefaultConfig(1)
+	cfg.L1ISize, cfg.L1IAssoc = 128, 2
+	cfg.L1DSize, cfg.L1DAssoc = 128, 2
+	cfg.L2Size, cfg.L2Assoc = 128, 2
+	cfg.LLCSize, cfg.LLCAssoc = 256, 4
+	cfg.LLCPolicy = replacement.LRU
+	return cfg
+}
+
+// Line addresses for the worked example's references a..f.
+const (
+	lineA = uint64(0x000)
+	lineB = uint64(0x040)
+	lineC = uint64(0x080)
+	lineD = uint64(0x0c0)
+	lineE = uint64(0x100)
+	lineF = uint64(0x140)
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig(2)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	muts := []func(*Config){
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.Cores = 65 },
+		func(c *Config) { c.TLHPerMille = -1 },
+		func(c *Config) { c.TLHPerMille = 1001 },
+		func(c *Config) { c.QBSMaxQueries = -1 },
+		func(c *Config) { c.VictimCacheEntries = -1 },
+		func(c *Config) { c.TLA = TLATLH; c.TLHSources = 0 },
+		func(c *Config) { c.TLA = TLAQBS; c.QBSProbe = 0 },
+		func(c *Config) { c.Latency.Memory = 0 },
+	}
+	for i, mut := range muts {
+		cfg := DefaultConfig(2)
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New accepted mutation %d", i)
+		}
+	}
+	bad := DefaultConfig(2)
+	bad.L1ISize = 100 // not a valid cache geometry
+	if _, err := New(bad); err == nil {
+		t.Error("New accepted invalid L1I geometry")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := map[string]string{
+		Inclusive.String():        "inclusive",
+		NonInclusive.String():     "non-inclusive",
+		Exclusive.String():        "exclusive",
+		InclusionMode(9).String(): "InclusionMode(9)",
+		TLANone.String():          "none",
+		TLATLH.String():           "TLH",
+		TLAECI.String():           "ECI",
+		TLAQBS.String():           "QBS",
+		TLAPolicy(9).String():     "TLAPolicy(9)",
+		CacheSet(0).String():      "none",
+		IL1.String():              "IL1",
+		(IL1 | DL1).String():      "IL1+DL1",
+		AllCaches.String():        "IL1+DL1+L2",
+		L2C.String():              "L2",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+}
+
+// figure3Prefix replays the reference pattern ...c, a, d, a... that
+// leads up to the decisive 'e' reference of Figure 3.
+func figure3Prefix(h *Hierarchy) {
+	for _, a := range []uint64{lineA, lineB, lineA, lineC, lineA, lineD, lineA} {
+		h.Access(0, Load, a)
+	}
+}
+
+// TestFigure3BaselineInclusionVictim reproduces Figure 3a: under the
+// unmanaged inclusive baseline, the reference to 'e' evicts hot line
+// 'a' from the LLC and — by inclusion — from the L1, so the next
+// reference to 'a' goes to memory.
+func TestFigure3BaselineInclusionVictim(t *testing.T) {
+	h := MustNew(tinyConfig())
+	figure3Prefix(h)
+	if !h.L1D(0).Contains(lineA) {
+		t.Fatal("precondition: 'a' must be hot in L1D")
+	}
+	h.Access(0, Load, lineE)
+	if h.L1D(0).Contains(lineA) {
+		t.Fatal("'a' survived in L1D; expected an inclusion victim")
+	}
+	if h.LLC().Contains(lineA) {
+		t.Fatal("'a' survived in LLC")
+	}
+	if got := h.Cores[0].InclusionVictims; got != 1 {
+		t.Fatalf("InclusionVictims = %d, want 1", got)
+	}
+	if res := h.Access(0, Load, lineA); res.Level != LevelMemory {
+		t.Fatalf("re-reference to 'a' satisfied at level %d, want memory", res.Level)
+	}
+}
+
+// TestFigure3TLH reproduces Figure 3b: with temporal locality hints
+// from the L1, the LLC knows 'a' is hot and evicts 'b' instead.
+func TestFigure3TLH(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.TLA = TLATLH
+	cfg.TLHSources = L1Caches
+	h := MustNew(cfg)
+	figure3Prefix(h)
+	h.Access(0, Load, lineE)
+	if !h.L1D(0).Contains(lineA) || !h.LLC().Contains(lineA) {
+		t.Fatal("TLH failed to protect hot line 'a'")
+	}
+	if h.LLC().Contains(lineB) {
+		t.Fatal("expected 'b' to be the victim under TLH")
+	}
+	if h.TotalInclusionVictims() != 0 {
+		t.Fatalf("inclusion victims under TLH = %d", h.TotalInclusionVictims())
+	}
+	if h.Traffic.TLHSent == 0 {
+		t.Fatal("no hints recorded")
+	}
+	if res := h.Access(0, Load, lineA); res.Level != LevelL1 {
+		t.Fatalf("'a' satisfied at level %d, want L1", res.Level)
+	}
+}
+
+// TestFigure3ECI reproduces Figure 3c: the miss on 'd' early-invalidates
+// 'a' from the core caches (keeping it in the LLC); the prompt
+// re-reference to 'a' hits the LLC, refreshing its replacement state,
+// so the later miss on 'e' evicts 'b' instead.
+func TestFigure3ECI(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.TLA = TLAECI
+	h := MustNew(cfg)
+	for _, a := range []uint64{lineA, lineB, lineA, lineC, lineA} {
+		h.Access(0, Load, a)
+	}
+	h.Access(0, Load, lineD) // miss: ECI early-invalidates next victim 'a'
+	if h.L1D(0).Contains(lineA) {
+		t.Fatal("ECI did not invalidate 'a' from the L1")
+	}
+	if !h.LLC().Contains(lineA) {
+		t.Fatal("ECI must retain 'a' in the LLC")
+	}
+	if h.Traffic.ECISent == 0 || h.Traffic.ECIInvalidated == 0 {
+		t.Fatalf("ECI traffic not recorded: %+v", h.Traffic)
+	}
+	// The rescue: re-referencing 'a' hits the LLC, not memory.
+	if res := h.Access(0, Load, lineA); res.Level != LevelLLC {
+		t.Fatalf("'a' rescued at level %d, want LLC", res.Level)
+	}
+	// Now 'e' must evict 'b', and 'a' stays hot.
+	h.Access(0, Load, lineE)
+	if !h.LLC().Contains(lineA) || !h.L1D(0).Contains(lineA) {
+		t.Fatal("'a' lost after rescue")
+	}
+	if res := h.Access(0, Load, lineA); res.Level != LevelL1 {
+		t.Fatalf("'a' satisfied at level %d, want L1", res.Level)
+	}
+}
+
+// TestFigure3QBS reproduces Figure 3d: the miss on 'e' queries the core
+// caches about victim candidate 'a', finds it resident, promotes it,
+// and evicts 'b' instead.
+func TestFigure3QBS(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.TLA = TLAQBS
+	cfg.QBSProbe = AllCaches
+	h := MustNew(cfg)
+	figure3Prefix(h)
+	h.Access(0, Load, lineE)
+	if !h.L1D(0).Contains(lineA) || !h.LLC().Contains(lineA) {
+		t.Fatal("QBS failed to protect hot line 'a'")
+	}
+	if h.LLC().Contains(lineB) {
+		t.Fatal("expected 'b' to be the QBS victim")
+	}
+	if h.Traffic.QBSQueries == 0 || h.Traffic.QBSSaves == 0 {
+		t.Fatalf("QBS traffic not recorded: %+v", h.Traffic)
+	}
+	if h.TotalInclusionVictims() != 0 {
+		t.Fatalf("inclusion victims under QBS = %d", h.TotalInclusionVictims())
+	}
+	if res := h.Access(0, Load, lineA); res.Level != LevelL1 {
+		t.Fatalf("'a' satisfied at level %d, want L1", res.Level)
+	}
+}
+
+// TestFigure3NonInclusive: the same pattern under non-inclusion never
+// back-invalidates 'a', so it stays in the L1 even after the LLC
+// replaces it.
+func TestFigure3NonInclusive(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Inclusion = NonInclusive
+	h := MustNew(cfg)
+	figure3Prefix(h)
+	h.Access(0, Load, lineE)
+	if !h.L1D(0).Contains(lineA) {
+		t.Fatal("non-inclusive LLC back-invalidated 'a'")
+	}
+	if h.Traffic.BackInvalidates != 0 || h.TotalInclusionVictims() != 0 {
+		t.Fatalf("non-inclusive mode produced back-invalidates: %+v", h.Traffic)
+	}
+	if res := h.Access(0, Load, lineA); res.Level != LevelL1 {
+		t.Fatalf("'a' satisfied at level %d, want L1", res.Level)
+	}
+}
+
+func TestResultLatencies(t *testing.T) {
+	h := MustNew(tinyConfig())
+	if res := h.Access(0, Load, lineA); res.Level != LevelMemory || res.Latency != 150 {
+		t.Fatalf("cold access = %+v", res)
+	}
+	if res := h.Access(0, Load, lineA); res.Level != LevelL1 || res.Latency != 1 {
+		t.Fatalf("L1 hit = %+v", res)
+	}
+	// Evict from L1/L2 (capacity 2) but not the 4-entry LLC.
+	h.Access(0, Load, lineB)
+	h.Access(0, Load, lineC)
+	if res := h.Access(0, Load, lineA); res.Level != LevelLLC || res.Latency != 24 {
+		t.Fatalf("LLC hit = %+v", res)
+	}
+	// Now it is in L1 and L2 again; push it out of L1 only.
+	// With the 2-entry L1 and 2-entry L2 mirror this needs a single
+	// conflicting access pair that stays in L2.
+	h2 := MustNew(DefaultConfig(1))
+	h2.Access(0, Load, 0)
+	var conflict uint64 = 32 << 10 // same L1 set (32KB 4-way), different L2 set likely
+	for i := 0; i < 8; i++ {
+		h2.Access(0, Load, conflict+uint64(i)*(8<<10))
+	}
+	if res := h2.Access(0, Load, 0); res.Level != LevelL2 || res.Latency != 10 {
+		t.Fatalf("L2 hit = %+v", res)
+	}
+}
+
+func TestStoreMarksDirtyAndWritesBack(t *testing.T) {
+	h := MustNew(tinyConfig())
+	h.Access(0, Store, lineA)
+	if l, ok := h.L1D(0).Probe(lineA); !ok || !h.L1D(0).Line(h.L1D(0).SetIndex(lineA), l).Dirty {
+		t.Fatal("store did not dirty the L1 line")
+	}
+	// Push 'a' out of L1 (dirty writeback to L2), then out of L2
+	// (writeback to LLC), then out of the LLC (writeback to memory).
+	h.Access(0, Load, lineB)
+	h.Access(0, Load, lineC) // L1/L2 evict a -> L2 then LLC dirty
+	h.Access(0, Load, lineD)
+	h.Access(0, Load, lineE) // LLC evicts a
+	if h.LLC().Contains(lineA) {
+		t.Fatal("setup failed: 'a' still in LLC")
+	}
+	if h.Traffic.WritebacksToMem == 0 {
+		t.Fatal("dirty eviction of 'a' did not reach memory")
+	}
+}
+
+func TestIFetchUsesInstructionCache(t *testing.T) {
+	h := MustNew(DefaultConfig(1))
+	h.Access(0, IFetch, 0x1000)
+	if !h.L1I(0).Contains(0x1000) {
+		t.Fatal("ifetch did not fill L1I")
+	}
+	if h.L1D(0).Contains(0x1000) {
+		t.Fatal("ifetch filled L1D")
+	}
+	if h.Cores[0].L1I.Accesses != 1 || h.Cores[0].L1D.Accesses != 0 {
+		t.Fatalf("stats wrong: %+v", h.Cores[0])
+	}
+	h.Access(0, Load, 0x1000)
+	if !h.L1D(0).Contains(0x1000) {
+		t.Fatal("load did not fill L1D")
+	}
+}
+
+func TestBackInvalidateMergesDirtyData(t *testing.T) {
+	h := MustNew(tinyConfig())
+	h.Access(0, Store, lineA) // dirty in L1 only
+	// Fill the LLC and evict 'a' while its only dirty copy is in L1.
+	h.Access(0, Load, lineB)
+	h.Access(0, Load, lineC)
+	h.Access(0, Load, lineD)
+	before := h.Traffic.WritebacksToMem
+	h.Access(0, Load, lineE) // LLC victim is 'a' (LRU), back-invalidate
+	if h.LLC().Contains(lineA) {
+		t.Fatal("'a' still in LLC")
+	}
+	if h.Traffic.WritebacksToMem != before+1 {
+		t.Fatalf("dirty L1 data lost on back-invalidation: writebacks %d -> %d",
+			before, h.Traffic.WritebacksToMem)
+	}
+}
+
+func TestQBSQueryLimitForcesEviction(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.TLA = TLAQBS
+	cfg.QBSMaxQueries = 1
+	h := MustNew(cfg)
+	// Make both L1-resident lines a and b the two LRU LLC candidates.
+	h.Access(0, Load, lineA)
+	h.Access(0, Load, lineB) // L1: [b,a]; LLC LRU order: a,b
+	h.Access(0, Load, lineC)
+	h.Access(0, Load, lineD)
+	h.Access(0, Load, lineA)
+	h.Access(0, Load, lineB) // L1: [b,a] again; LLC order now a,b MRU-side
+	// Force an LLC miss; victim candidate chain under QBS: the two LRU
+	// lines are c and d (not L1-resident), so this doesn't exercise the
+	// limit. Rebuild precisely:
+	h2 := MustNew(cfg)
+	h2.Access(0, Load, lineA)
+	h2.Access(0, Load, lineB)
+	h2.Access(0, Load, lineA) // keep a,b hottest in L1: [a,b]
+	h2.Access(0, Load, lineC) // evicts b from L1 -> L1 [c,a]
+	h2.Access(0, Load, lineD) // L1 [d,c]
+	h2.Access(0, Load, lineA) // LLC hit, L1 [a,d]
+	// LLC LRU order now: b, c, d?, a... Victim chain: b (not in L1),
+	// evicted without exhausting limit. The limit path needs every
+	// candidate resident; easiest with an LLC as small as the L1s:
+	cfg3 := tinyConfig()
+	cfg3.LLCSize, cfg3.LLCAssoc = 128, 2 // 2-entry LLC == L1 capacity
+	cfg3.TLA = TLAQBS
+	cfg3.QBSMaxQueries = 1
+	h3 := MustNew(cfg3)
+	h3.Access(0, Load, lineA)
+	h3.Access(0, Load, lineB) // both LLC lines resident in L1
+	before := h3.TotalInclusionVictims()
+	h3.Access(0, Load, lineC) // QBS: query a -> resident -> promote; limit hit -> evict b
+	if got := h3.TotalInclusionVictims(); got != before+1 {
+		t.Fatalf("expected a forced inclusion victim at the query limit, got %d", got-before)
+	}
+	if !h3.LLC().Contains(lineA) {
+		t.Fatal("first candidate should have been saved before the limit")
+	}
+	if h3.Traffic.QBSQueries != 1 {
+		t.Fatalf("QBSQueries = %d, want exactly the limit 1", h3.Traffic.QBSQueries)
+	}
+}
+
+func TestQBSProbeLevelRespected(t *testing.T) {
+	// Line 'a' resident only in the L2 (not the L1s): QBS-L1 must not
+	// save it, QBS-L1-L2 must. Geometry: 2-entry L1s, 4-entry L2,
+	// 4-entry LLC, all LRU.
+	build := func(probe CacheSet) *Hierarchy {
+		cfg := DefaultConfig(1)
+		cfg.L1ISize, cfg.L1IAssoc = 128, 2
+		cfg.L1DSize, cfg.L1DAssoc = 128, 2
+		cfg.L2Size, cfg.L2Assoc = 256, 4
+		cfg.LLCSize, cfg.LLCAssoc = 256, 4
+		cfg.LLCPolicy = replacement.LRU
+		cfg.TLA = TLAQBS
+		cfg.QBSProbe = probe
+		cfg.QBSMaxQueries = 1
+		h := MustNew(cfg)
+		// After a,b,c,d: L1D [d,c]; L2 [d,c,b,a]; LLC LRU order a,b,c,d.
+		for _, l := range []uint64{lineA, lineB, lineC, lineD} {
+			h.Access(0, Load, l)
+		}
+		if h.L1D(0).Contains(lineA) || !h.L2(0).Contains(lineA) {
+			t.Fatal("setup: 'a' must be resident in L2 only")
+		}
+		h.Access(0, Load, lineE) // LLC miss; victim candidate is 'a'
+		return h
+	}
+
+	l1Only := build(L1Caches)
+	if l1Only.LLC().Contains(lineA) {
+		t.Fatal("QBS-L1 saved an L2-only line")
+	}
+	if l1Only.TotalInclusionVictims() != 1 {
+		t.Fatalf("QBS-L1 inclusion victims = %d, want 1 ('a' from L2)", l1Only.TotalInclusionVictims())
+	}
+
+	all := build(AllCaches)
+	if !all.LLC().Contains(lineA) {
+		t.Fatal("QBS-L1-L2 failed to save an L2-resident line")
+	}
+	if all.LLC().Contains(lineB) {
+		t.Fatal("QBS-L1-L2 should have evicted 'b' after the query limit")
+	}
+}
+
+func TestECICountsOneOrTwoInvalidates(t *testing.T) {
+	// Paper: each ECI miss invalidates one or two lines in the core
+	// caches — the normal victim (when present there) plus the early
+	// one. After an un-rescued ECI line is evicted, its back-invalidate
+	// must find nothing (presence cleared).
+	cfg := tinyConfig()
+	cfg.TLA = TLAECI
+	h := MustNew(cfg)
+	for _, a := range []uint64{lineA, lineB, lineC, lineD} {
+		h.Access(0, Load, a)
+	}
+	// LLC full; LRU candidate is 'a'. Miss on e: evict a... wait, the
+	// fill of d already ECI'd the then-victim. Just assert global
+	// consistency: every ECI eviction of an un-rescued line sends no
+	// back-invalidates.
+	biBefore := h.Traffic.BackInvalidates
+	h.Access(0, Load, lineE)
+	h.Access(0, Load, lineF)
+	if h.Traffic.BackInvalidates != biBefore {
+		t.Fatalf("evicting ECI'd (un-rescued) lines sent %d back-invalidates",
+			h.Traffic.BackInvalidates-biBefore)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVictimCacheRescuesEvictions(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.VictimCacheEntries = 32
+	h := MustNew(cfg)
+	for _, a := range []uint64{lineA, lineB, lineC, lineD, lineE} {
+		h.Access(0, Load, a)
+	}
+	// 'a' was evicted from the LLC into the victim cache.
+	if h.Traffic.VictimCacheFills == 0 {
+		t.Fatal("no victim cache fills recorded")
+	}
+	res := h.Access(0, Load, lineA)
+	if res.Level != LevelVictimCache {
+		t.Fatalf("'a' satisfied at level %d, want victim cache", res.Level)
+	}
+	if h.Traffic.VictimCacheHits != 1 {
+		t.Fatalf("VictimCacheHits = %d", h.Traffic.VictimCacheHits)
+	}
+	if !h.LLC().Contains(lineA) {
+		t.Fatal("victim cache hit did not refill the LLC")
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVictimCacheEvictionWritesBackDirty(t *testing.T) {
+	v := newVictimCache(2)
+	v.insert(0x40, true)
+	v.insert(0x80, false)
+	if v.len() != 2 {
+		t.Fatalf("len = %d", v.len())
+	}
+	evAddr, evDirty, evicted := v.insert(0xc0, false)
+	if !evicted || evAddr != 0x40 || !evDirty {
+		t.Fatalf("eviction = (%#x, %v, %v), want (0x40, true, true)", evAddr, evDirty, evicted)
+	}
+	// Re-inserting an existing address merges dirtiness and promotes.
+	v.insert(0x80, true)
+	if d, ok := v.remove(0x80); !ok || !d {
+		t.Fatalf("remove(0x80) = (%v, %v)", d, ok)
+	}
+	if _, ok := v.remove(0x999); ok {
+		t.Fatal("removed a nonexistent entry")
+	}
+}
+
+func TestExclusiveHitInvalidatesLLC(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Inclusion = Exclusive
+	h := MustNew(cfg)
+	h.Access(0, Load, lineA) // memory -> L1+L2 only
+	if h.LLC().Contains(lineA) {
+		t.Fatal("exclusive fill went into the LLC")
+	}
+	// Evict 'a' from L2: it must appear in the LLC (clean insertion).
+	h.Access(0, Load, lineB)
+	h.Access(0, Load, lineC)
+	if !h.LLC().Contains(lineA) {
+		t.Fatal("L2 victim not inserted into exclusive LLC")
+	}
+	// Re-access 'a': LLC hit must invalidate the LLC copy.
+	res := h.Access(0, Load, lineA)
+	if res.Level != LevelLLC {
+		t.Fatalf("'a' at level %d, want LLC", res.Level)
+	}
+	if h.LLC().Contains(lineA) {
+		t.Fatal("exclusive LLC kept the line after a hit")
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExclusiveCapacityExceedsInclusive(t *testing.T) {
+	// With W distinct lines where L2 < W <= L2+LLC, the exclusive
+	// hierarchy holds them all while the inclusive one (capacity = LLC)
+	// cannot. Toy sizes: L1=2, L2=2, LLC=4 lines -> exclusive capacity 6.
+	lines := []uint64{lineA, lineB, lineC, lineD, lineE, lineF}
+	run := func(mode InclusionMode) (memMisses uint64) {
+		cfg := tinyConfig()
+		cfg.Inclusion = mode
+		h := MustNew(cfg)
+		for round := 0; round < 30; round++ {
+			for _, a := range lines {
+				if res := h.Access(0, Load, a); res.Level == LevelMemory {
+					memMisses++
+				}
+			}
+		}
+		return memMisses
+	}
+	inc, exc := run(Inclusive), run(Exclusive)
+	if exc >= inc {
+		t.Fatalf("exclusive misses (%d) not below inclusive (%d)", exc, inc)
+	}
+}
+
+func TestTLHSourceFiltering(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.TLA = TLATLH
+	cfg.TLHSources = IL1
+	h := MustNew(cfg)
+	h.Access(0, Load, lineA)
+	h.Access(0, Load, lineA) // DL1 hit: no hint (source is IL1 only)
+	if h.Traffic.TLHSent != 0 {
+		t.Fatalf("DL1 hit sent hint with IL1-only sources: %d", h.Traffic.TLHSent)
+	}
+	h.Access(0, IFetch, lineB)
+	h.Access(0, IFetch, lineB) // IL1 hit: hint
+	if h.Traffic.TLHSent != 1 {
+		t.Fatalf("TLHSent = %d, want 1", h.Traffic.TLHSent)
+	}
+}
+
+func TestTLHFractionSampling(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.TLA = TLATLH
+	cfg.TLHSources = L1Caches
+	cfg.TLHPerMille = 100 // 10% of hits send hints
+	h := MustNew(cfg)
+	h.Access(0, Load, lineA)
+	const hits = 10000
+	for i := 0; i < hits; i++ {
+		h.Access(0, Load, lineA)
+	}
+	got := float64(h.Traffic.TLHSent) / hits
+	if got < 0.08 || got > 0.12 {
+		t.Fatalf("hint fraction = %.3f, want ~0.10", got)
+	}
+}
+
+func TestPrefetcherFillsL2(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.EnablePrefetch = true
+	h := MustNew(cfg)
+	// A sequential miss stream trains the prefetcher.
+	for i := 0; i < 8; i++ {
+		h.Access(0, Load, uint64(i)*64)
+	}
+	if h.Traffic.PrefetchIssued == 0 || h.Traffic.PrefetchFills == 0 {
+		t.Fatalf("prefetcher inactive: %+v", h.Traffic)
+	}
+	// The next line ahead must already be in the L2 (prefetch hit).
+	if !h.L2(0).Contains(8 * 64) {
+		t.Fatal("prefetch did not fill the next stream line into L2")
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatalf("prefetch broke inclusion: %v", err)
+	}
+	// Demand stats must not count prefetches.
+	if h.Cores[0].LLC.Accesses > 8 {
+		t.Fatalf("prefetches leaked into demand stats: %+v", h.Cores[0])
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.EnablePrefetch = true
+	cfg.VictimCacheEntries = 8
+	h := MustNew(cfg)
+	for i := 0; i < 1000; i++ {
+		h.Access(i%2, Load, uint64(i)*64)
+	}
+	h.Reset()
+	if h.LLC().CountValid() != 0 || h.L1D(0).CountValid() != 0 {
+		t.Fatal("caches not cleared")
+	}
+	if h.Traffic != (Traffic{}) {
+		t.Fatalf("traffic not cleared: %+v", h.Traffic)
+	}
+	for c := range h.Cores {
+		if h.Cores[c] != (CoreStats{}) {
+			t.Fatalf("core %d stats not cleared", c)
+		}
+	}
+}
+
+func TestLevelStatsHits(t *testing.T) {
+	s := LevelStats{Accesses: 10, Misses: 3}
+	if s.Hits() != 7 {
+		t.Fatalf("Hits = %d", s.Hits())
+	}
+}

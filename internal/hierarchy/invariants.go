@@ -1,0 +1,114 @@
+package hierarchy
+
+import (
+	"fmt"
+
+	"tlacache/internal/cache"
+)
+
+// CheckInvariants verifies the structural properties the configured
+// inclusion mode guarantees. It is used by the property-based tests and
+// is cheap enough to call from long-running simulations in debug runs.
+//
+//   - Inclusive: every valid line in any core cache is present in the
+//     LLC, and is covered by that core's LLC presence bit.
+//   - Exclusive: no line is present in both a core's L2 and the LLC
+//     (L1 copies may transiently coexist with an LLC copy, as in the
+//     paper's simplified exclusive model — see DESIGN.md).
+//   - All modes: presence bits name only existing cores.
+func (h *Hierarchy) CheckInvariants() error {
+	switch h.cfg.Inclusion {
+	case Inclusive:
+		for c := 0; c < h.cfg.Cores; c++ {
+			for _, cc := range []*cache.Cache{h.l1i[c], h.l1d[c], h.l2[c]} {
+				var err error
+				cc.ForEachValid(func(l cache.Line) {
+					if err != nil {
+						return
+					}
+					if !h.llc.Contains(l.Addr) {
+						err = fmt.Errorf("inclusion violated: %s line %#x not in LLC", cc.Config().Name, l.Addr)
+						return
+					}
+					if h.llc.Presence(l.Addr)&(1<<uint(c)) == 0 {
+						err = fmt.Errorf("directory hole: %s line %#x lacks presence bit %d", cc.Config().Name, l.Addr, c)
+					}
+				})
+				if err != nil {
+					return err
+				}
+			}
+		}
+	case Exclusive:
+		for c := 0; c < h.cfg.Cores; c++ {
+			var err error
+			h.l2[c].ForEachValid(func(l cache.Line) {
+				if err == nil && h.llc.Contains(l.Addr) {
+					err = fmt.Errorf("exclusion violated: line %#x in both L2[%d] and LLC", l.Addr, c)
+				}
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if h.cfg.L2Inclusive {
+		for c := 0; c < h.cfg.Cores; c++ {
+			for _, cc := range []*cache.Cache{h.l1i[c], h.l1d[c]} {
+				var err error
+				cc.ForEachValid(func(l cache.Line) {
+					if err == nil && !h.l2[c].Contains(l.Addr) {
+						err = fmt.Errorf("L2 inclusion violated: %s line %#x not in L2[%d]",
+							cc.Config().Name, l.Addr, c)
+					}
+				})
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	var err error
+	coreMask := uint64(1)<<uint(h.cfg.Cores) - 1
+	h.llc.ForEachValid(func(l cache.Line) {
+		if err == nil && l.Presence&^coreMask != 0 {
+			err = fmt.Errorf("presence mask %#x of line %#x names nonexistent cores", l.Presence, l.Addr)
+		}
+	})
+	return err
+}
+
+// TotalInclusionVictims sums inclusion victims across cores.
+func (h *Hierarchy) TotalInclusionVictims() uint64 {
+	var n uint64
+	for i := range h.Cores {
+		n += h.Cores[i].InclusionVictims
+	}
+	return n
+}
+
+// Reset clears every cache, the prefetchers, the victim cache, and all
+// statistics, preserving the configuration.
+func (h *Hierarchy) Reset() {
+	for c := 0; c < h.cfg.Cores; c++ {
+		h.l1i[c].Reset()
+		h.l1d[c].Reset()
+		h.l2[c].Reset()
+		if h.pf != nil {
+			h.pf[c].Reset()
+		}
+	}
+	h.llc.Reset()
+	if h.vc != nil {
+		h.vc.addrs = h.vc.addrs[:0]
+		h.vc.dirty = h.vc.dirty[:0]
+	}
+	h.hintClock = 0
+	for i := range h.bankFree {
+		h.bankFree[i] = 0
+	}
+	for i := range h.Cores {
+		h.Cores[i] = CoreStats{}
+	}
+	h.Traffic = Traffic{}
+}

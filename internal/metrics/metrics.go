@@ -1,0 +1,151 @@
+// Package metrics provides the performance metrics the paper reports:
+// throughput (sum of IPCs), weighted speedup, harmonic-mean fairness,
+// misses per kilo-instruction, geometric means over workload sets, and
+// the sorted "s-curves" of Figures 5–8.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Throughput is the sum of per-core IPCs, the paper's primary metric
+// (its footnote 5 notes weighted speedup and hmean-fairness track it).
+func Throughput(ipcs []float64) float64 {
+	sum := 0.0
+	for _, v := range ipcs {
+		sum += v
+	}
+	return sum
+}
+
+// WeightedSpeedup sums each application's IPC in the mix relative to
+// its isolated IPC.
+func WeightedSpeedup(mix, alone []float64) (float64, error) {
+	if len(mix) != len(alone) {
+		return 0, fmt.Errorf("metrics: weighted speedup needs equal lengths, got %d and %d", len(mix), len(alone))
+	}
+	sum := 0.0
+	for i := range mix {
+		if alone[i] <= 0 {
+			return 0, fmt.Errorf("metrics: isolated IPC %d is %v", i, alone[i])
+		}
+		sum += mix[i] / alone[i]
+	}
+	return sum, nil
+}
+
+// HmeanFairness is the harmonic mean of per-application speedups, the
+// balance-sensitive companion metric.
+func HmeanFairness(mix, alone []float64) (float64, error) {
+	if len(mix) != len(alone) {
+		return 0, fmt.Errorf("metrics: hmean fairness needs equal lengths, got %d and %d", len(mix), len(alone))
+	}
+	sum := 0.0
+	for i := range mix {
+		if mix[i] <= 0 {
+			return 0, fmt.Errorf("metrics: mix IPC %d is %v", i, mix[i])
+		}
+		sum += alone[i] / mix[i]
+	}
+	if sum == 0 {
+		return 0, fmt.Errorf("metrics: degenerate fairness denominator")
+	}
+	return float64(len(mix)) / sum, nil
+}
+
+// Geomean returns the geometric mean of xs; it errors on empty input or
+// non-positive values (a zero would silence every other measurement).
+func Geomean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("metrics: geomean of no values")
+	}
+	logSum := 0.0
+	for i, v := range xs {
+		if v <= 0 {
+			return 0, fmt.Errorf("metrics: geomean input %d is %v", i, v)
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(xs))), nil
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// MPKI converts a miss count to misses per thousand instructions.
+func MPKI(misses, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(misses) * 1000 / float64(instructions)
+}
+
+// SCurve returns vals sorted ascending (a copy), the presentation used
+// by the paper's per-workload overview plots.
+func SCurve(vals []float64) []float64 {
+	out := append([]float64(nil), vals...)
+	sort.Float64s(out)
+	return out
+}
+
+// SCurveBy sorts a copy of vals by the parallel key slice (ascending),
+// used when one policy's s-curve orders the x-axis for the others
+// (Figure 5 sorts by the non-inclusive speedup).
+func SCurveBy(vals, keys []float64) ([]float64, error) {
+	if len(vals) != len(keys) {
+		return nil, fmt.Errorf("metrics: SCurveBy needs equal lengths, got %d and %d", len(vals), len(keys))
+	}
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	out := make([]float64, len(vals))
+	for i, j := range idx {
+		out[i] = vals[j]
+	}
+	return out, nil
+}
+
+// GapBridged reports what fraction of the gap between a baseline and a
+// target a policy closes: (policy-base)/(target-base). The paper uses
+// it for "TLH-L1 bridges 85% of the gap between inclusive and
+// non-inclusive caches". Returns 0 when the gap is degenerate.
+func GapBridged(base, policy, target float64) float64 {
+	gap := target - base
+	if gap == 0 {
+		return 0
+	}
+	return (policy - base) / gap
+}
+
+// Quantile returns the q-quantile (0..1) of vals by linear
+// interpolation over the sorted copy; it errors on empty input.
+func Quantile(vals []float64, q float64) (float64, error) {
+	if len(vals) == 0 {
+		return 0, fmt.Errorf("metrics: quantile of no values")
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("metrics: quantile %v out of [0,1]", q)
+	}
+	s := SCurve(vals)
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}

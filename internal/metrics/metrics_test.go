@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput([]float64{1.5, 2.5}); !almost(got, 4.0) {
+		t.Fatalf("Throughput = %v", got)
+	}
+	if got := Throughput(nil); got != 0 {
+		t.Fatalf("Throughput(nil) = %v", got)
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	ws, err := WeightedSpeedup([]float64{1, 1}, []float64{2, 4})
+	if err != nil || !almost(ws, 0.75) {
+		t.Fatalf("WeightedSpeedup = %v, %v", ws, err)
+	}
+	if _, err := WeightedSpeedup([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := WeightedSpeedup([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero isolated IPC accepted")
+	}
+}
+
+func TestHmeanFairness(t *testing.T) {
+	// Equal speedups s: fairness = s.
+	hf, err := HmeanFairness([]float64{1, 2}, []float64{2, 4})
+	if err != nil || !almost(hf, 0.5) {
+		t.Fatalf("HmeanFairness = %v, %v", hf, err)
+	}
+	if _, err := HmeanFairness([]float64{0}, []float64{1}); err == nil {
+		t.Error("zero mix IPC accepted")
+	}
+	if _, err := HmeanFairness([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	g, err := Geomean([]float64{1, 4})
+	if err != nil || !almost(g, 2) {
+		t.Fatalf("Geomean = %v, %v", g, err)
+	}
+	if _, err := Geomean(nil); err == nil {
+		t.Error("empty geomean accepted")
+	}
+	if _, err := Geomean([]float64{1, 0}); err == nil {
+		t.Error("zero value accepted")
+	}
+	// Property: geomean lies between min and max.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r%1000) + 1
+			lo, hi = math.Min(lo, xs[i]), math.Max(hi, xs[i])
+		}
+		g, err := Geomean(xs)
+		return err == nil && g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); !almost(got, 2) {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	if got := MPKI(50, 10000); !almost(got, 5) {
+		t.Fatalf("MPKI = %v", got)
+	}
+	if got := MPKI(50, 0); got != 0 {
+		t.Fatalf("MPKI with zero instructions = %v", got)
+	}
+}
+
+func TestSCurve(t *testing.T) {
+	in := []float64{3, 1, 2}
+	out := SCurve(in)
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatalf("SCurve = %v", out)
+	}
+	if in[0] != 3 {
+		t.Fatal("SCurve mutated its input")
+	}
+}
+
+func TestSCurveBy(t *testing.T) {
+	vals := []float64{10, 20, 30}
+	keys := []float64{3, 1, 2}
+	out, err := SCurveBy(vals, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 20 || out[1] != 30 || out[2] != 10 {
+		t.Fatalf("SCurveBy = %v", out)
+	}
+	if _, err := SCurveBy(vals, keys[:2]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestGapBridged(t *testing.T) {
+	if got := GapBridged(1.0, 1.085, 1.10); !almost(got, 0.85) {
+		t.Fatalf("GapBridged = %v", got)
+	}
+	if got := GapBridged(1, 2, 1); got != 0 {
+		t.Fatalf("degenerate gap = %v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {1.0 / 3, 2},
+	} {
+		got, err := Quantile(vals, tc.q)
+		if err != nil || !almost(got, tc.want) {
+			t.Errorf("Quantile(%v) = %v, %v; want %v", tc.q, got, err, tc.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty quantile accepted")
+	}
+	if _, err := Quantile(vals, 1.5); err == nil {
+		t.Error("out-of-range q accepted")
+	}
+}

@@ -1,0 +1,170 @@
+package prefetch
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{LineSize: 48}); err == nil {
+		t.Error("accepted non-power-of-two line size")
+	}
+	if _, err := New(Config{Detectors: -1}); err == nil {
+		t.Error("accepted negative detectors")
+	}
+	s := MustNew(Config{})
+	if len(s.detectors) != 16 || s.degree != 2 {
+		t.Errorf("defaults wrong: %d detectors, degree %d", len(s.detectors), s.degree)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	MustNew(Config{LineSize: 3})
+}
+
+func TestAscendingStreamDetected(t *testing.T) {
+	s := MustNew(Config{})
+	var buf []uint64
+	// First miss allocates a trainer; no prefetches yet.
+	buf = s.OnMiss(0x1000, buf[:0])
+	if len(buf) != 0 {
+		t.Fatalf("first miss issued %d prefetches", len(buf))
+	}
+	// Second sequential miss confirms direction and issues degree=2.
+	buf = s.OnMiss(0x1040, buf[:0])
+	if len(buf) != 2 || buf[0] != 0x1080 || buf[1] != 0x10c0 {
+		t.Fatalf("prefetches = %#v, want [0x1080 0x10c0]", buf)
+	}
+	buf = s.OnMiss(0x1080, buf[:0])
+	if len(buf) != 2 || buf[0] != 0x10c0 {
+		t.Fatalf("third miss prefetches = %#v", buf)
+	}
+	if s.Stats.Activated != 1 || s.Stats.Issued != 4 {
+		t.Fatalf("stats = %+v", s.Stats)
+	}
+}
+
+func TestDescendingStreamDetected(t *testing.T) {
+	s := MustNew(Config{})
+	var buf []uint64
+	s.OnMiss(0x2000, nil)
+	buf = s.OnMiss(0x1fc0, buf[:0])
+	if len(buf) != 2 || buf[0] != 0x1f80 || buf[1] != 0x1f40 {
+		t.Fatalf("descending prefetches = %#v", buf)
+	}
+}
+
+func TestDirectionFlipRetrains(t *testing.T) {
+	s := MustNew(Config{})
+	s.OnMiss(0x1000, nil)
+	s.OnMiss(0x1040, nil) // ascending confirmed
+	buf := s.OnMiss(0x1000, nil)
+	if len(buf) != 0 {
+		t.Fatalf("direction flip still issued %#v", buf)
+	}
+	// Continue descending: re-confirms with new direction.
+	buf = s.OnMiss(0xfc0, nil)
+	if len(buf) != 2 || buf[0] != 0xf80 {
+		t.Fatalf("after retrain = %#v", buf)
+	}
+}
+
+func TestRepeatedSameLineIsIgnored(t *testing.T) {
+	s := MustNew(Config{})
+	s.OnMiss(0x1000, nil)
+	if buf := s.OnMiss(0x1000, nil); len(buf) != 0 {
+		t.Fatalf("same-line miss issued %#v", buf)
+	}
+	if s.Stats.Allocs != 1 {
+		t.Fatalf("same-line miss allocated another detector: %+v", s.Stats)
+	}
+}
+
+func TestConcurrentStreams(t *testing.T) {
+	s := MustNew(Config{})
+	var buf []uint64
+	// Interleave two far-apart streams; both must be tracked at once.
+	bases := []uint64{0x10000, 0x900000}
+	for step := 0; step < 8; step++ {
+		for _, b := range bases {
+			buf = s.OnMiss(b+uint64(step)*64, buf[:0])
+			if step >= 1 && len(buf) != 2 {
+				t.Fatalf("stream %#x step %d: %d prefetches", b, step, len(buf))
+			}
+		}
+	}
+	if s.Stats.Allocs != 2 || s.Stats.Activated != 2 {
+		t.Fatalf("stats = %+v", s.Stats)
+	}
+}
+
+func TestDetectorCapacityEvictsLRU(t *testing.T) {
+	s := MustNew(Config{Detectors: 2})
+	s.OnMiss(0x10000, nil)  // stream A
+	s.OnMiss(0x500000, nil) // stream B
+	s.OnMiss(0x900000, nil) // stream C replaces A (LRU)
+	// Continuing A must not find its detector: reallocation, no issue.
+	if buf := s.OnMiss(0x10040, nil); len(buf) != 0 {
+		t.Fatalf("evicted stream still issued %#v", buf)
+	}
+	if s.Stats.Allocs != 4 {
+		t.Fatalf("Allocs = %d, want 4", s.Stats.Allocs)
+	}
+}
+
+func TestRandomMissesIssueNothing(t *testing.T) {
+	s := MustNew(Config{})
+	var buf []uint64
+	seed := uint64(0x123456789)
+	for i := 0; i < 1000; i++ {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		buf = s.OnMiss(seed&0xFFFFFFC0, buf[:0])
+	}
+	// A handful of accidental window matches is fine, but random traffic
+	// must not look like streams.
+	if s.Stats.Issued > 50 {
+		t.Fatalf("random misses issued %d prefetches", s.Stats.Issued)
+	}
+}
+
+func TestZeroDetectorStreamerIsInert(t *testing.T) {
+	s, err := New(Config{Detectors: -0, Degree: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.detectors = nil // simulate a disabled prefetcher
+	if buf := s.OnMiss(0x1000, nil); len(buf) != 0 {
+		t.Fatal("disabled prefetcher issued prefetches")
+	}
+}
+
+func TestNoNegativeLinePrefetch(t *testing.T) {
+	s := MustNew(Config{})
+	s.OnMiss(0x40, nil)
+	buf := s.OnMiss(0x0, nil) // descending at address zero
+	for _, a := range buf {
+		if int64(a) < 0 {
+			t.Fatalf("negative prefetch address %#x", a)
+		}
+	}
+	if len(buf) != 0 {
+		t.Fatalf("prefetched below address zero: %#v", buf)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := MustNew(Config{})
+	s.OnMiss(0x1000, nil)
+	s.OnMiss(0x1040, nil)
+	s.Reset()
+	if s.Stats != (Stats{}) {
+		t.Fatalf("stats after Reset = %+v", s.Stats)
+	}
+	if buf := s.OnMiss(0x1080, nil); len(buf) != 0 {
+		t.Fatal("detector state survived Reset")
+	}
+}

@@ -1,0 +1,125 @@
+package replacement
+
+// This file adds the thrash-resistant insertion policies of Qureshi et
+// al. ("Adaptive Insertion Policies for High Performance Caching",
+// ISCA 2007), which the paper cites among the "intelligent cache
+// management policies [14, 15]" that it verified the inclusion problem
+// against:
+//
+//   - LIP inserts new lines at the LRU position, so a no-reuse stream
+//     evicts itself instead of the resident working set.
+//   - BIP is LIP that inserts at MRU once every bipEpsilonInverse
+//     fills, letting it adapt slowly to genuine working-set changes.
+//   - DIP set-duels LRU against BIP with a saturating PSEL counter:
+//     dedicated leader sets always use one policy; follower sets use
+//     whichever leader currently misses less.
+//
+// All three reuse the exact LRU recency stack, so hits, demotions, and
+// the QBS promote-and-reselect contract behave identically to LRU.
+
+const (
+	// One in bipEpsilonInverse BIP insertions goes to MRU.
+	bipEpsilonInverse = 32
+	// dipLeaderPeriod spaces the leader sets: within each period the
+	// first set leads for LRU and the second for BIP (a simple static
+	// variant of the paper's set sampling).
+	dipLeaderPeriod = 32
+	// dipPselMax saturates the policy-selection counter.
+	dipPselMax = 1024
+)
+
+// Additional policy kinds (extending the base set in policy.go).
+const (
+	// LIP is LRU-Insertion-Policy: fills go to the LRU position.
+	LIP Kind = iota + 100
+	// BIP is Bimodal Insertion: LIP with occasional MRU insertion.
+	BIP
+	// DIP set-duels LRU against BIP (dynamic insertion).
+	DIP
+)
+
+type lip struct{ *lru }
+
+func newLIP(numSets, assoc int) lip { return lip{newLRU(numSets, assoc)} }
+
+func (p lip) Name() string { return "LIP" }
+
+func (p lip) Insert(set, way int) { p.moveTo(set, way, p.assoc-1) }
+
+type bip struct {
+	*lru
+	fills uint64
+}
+
+func newBIP(numSets, assoc int) *bip { return &bip{lru: newLRU(numSets, assoc)} }
+
+func (p *bip) Name() string { return "BIP" }
+
+func (p *bip) Insert(set, way int) {
+	p.fills++
+	if p.fills%bipEpsilonInverse == 0 {
+		p.moveTo(set, way, 0)
+		return
+	}
+	p.moveTo(set, way, p.assoc-1)
+}
+
+type dip struct {
+	*lru
+	fills uint64
+	psel  int // > half: BIP is winning; <= half: LRU is winning
+}
+
+func newDIP(numSets, assoc int) *dip {
+	return &dip{lru: newLRU(numSets, assoc), psel: dipPselMax / 2}
+}
+
+func (p *dip) Name() string { return "DIP" }
+
+// leader classifies a set: 0 = LRU leader, 1 = BIP leader, -1 follower.
+func dipLeader(set int) int {
+	switch set % dipLeaderPeriod {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	default:
+		return -1
+	}
+}
+
+func (p *dip) Insert(set, way int) {
+	// Insert is only called on fills, i.e. after a miss: leader-set
+	// misses are exactly the PSEL training events.
+	useBIP := false
+	switch dipLeader(set) {
+	case 0: // LRU leader missed: a vote for BIP
+		if p.psel < dipPselMax {
+			p.psel++
+		}
+	case 1: // BIP leader missed: a vote for LRU
+		if p.psel > 0 {
+			p.psel--
+		}
+		useBIP = true
+	default:
+		useBIP = p.psel > dipPselMax/2
+	}
+	if dipLeader(set) == 0 {
+		p.moveTo(set, way, 0) // LRU leaders always insert at MRU (plain LRU)
+		return
+	}
+	if useBIP {
+		p.fills++
+		if p.fills%bipEpsilonInverse == 0 {
+			p.moveTo(set, way, 0)
+		} else {
+			p.moveTo(set, way, p.assoc-1)
+		}
+		return
+	}
+	p.moveTo(set, way, 0)
+}
+
+// PSEL exposes the current selector value for tests.
+func (p *dip) PSEL() int { return p.psel }

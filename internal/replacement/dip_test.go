@@ -1,0 +1,159 @@
+package replacement
+
+import "testing"
+
+func TestLIPInsertsAtLRU(t *testing.T) {
+	p := New(LIP, 1, 4)
+	if p.Name() != "LIP" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	// Fill all four ways; untouched LIP insertions stay at LRU, so the
+	// most recent fill is the next victim.
+	for w := 0; w < 4; w++ {
+		p.Insert(0, w)
+	}
+	if got := p.Victim(0); got != 3 {
+		t.Fatalf("victim = %d, want the last-inserted way 3", got)
+	}
+	// A touch rescues a line to MRU.
+	p.Touch(0, 3)
+	if got := p.Victim(0); got == 3 {
+		t.Fatal("touched LIP line still the victim")
+	}
+}
+
+func TestLIPStreamProtectsResidents(t *testing.T) {
+	// The defining LIP property: a no-reuse stream keeps evicting the
+	// same way while touched residents survive. Simulate: ways 0..2
+	// are residents (touched), way 3 receives the stream.
+	p := New(LIP, 1, 4)
+	for w := 0; w < 4; w++ {
+		p.Insert(0, w)
+	}
+	for i := 0; i < 100; i++ {
+		for w := 0; w < 3; w++ {
+			p.Touch(0, w)
+		}
+		v := p.Victim(0)
+		if v != 3 {
+			t.Fatalf("iteration %d: victim = %d, want streaming way 3", i, v)
+		}
+		p.Insert(0, v)
+	}
+}
+
+func TestBIPOccasionallyInsertsAtMRU(t *testing.T) {
+	p := newBIP(1, 4)
+	if p.Name() != "BIP" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	mru := 0
+	for i := 0; i < 32*10; i++ {
+		p.Insert(0, 1)
+		if p.StackPosition(0, 1) == 0 {
+			mru++
+		}
+	}
+	if mru != 10 {
+		t.Fatalf("MRU insertions = %d out of 320, want exactly 10 (1/32)", mru)
+	}
+}
+
+func TestDIPLeaderAssignment(t *testing.T) {
+	if dipLeader(0) != 0 || dipLeader(32) != 0 {
+		t.Error("sets 0 and 32 must lead for LRU")
+	}
+	if dipLeader(1) != 1 || dipLeader(33) != 1 {
+		t.Error("sets 1 and 33 must lead for BIP")
+	}
+	if dipLeader(2) != -1 || dipLeader(31) != -1 {
+		t.Error("other sets must be followers")
+	}
+}
+
+func TestDIPPselMovesWithLeaderMisses(t *testing.T) {
+	p := newDIP(64, 4)
+	start := p.PSEL()
+	// Misses in the LRU leader set vote for BIP.
+	for i := 0; i < 10; i++ {
+		p.Insert(0, i%4)
+	}
+	if p.PSEL() != start+10 {
+		t.Fatalf("PSEL after LRU-leader misses = %d, want %d", p.PSEL(), start+10)
+	}
+	// Misses in the BIP leader set vote for LRU.
+	for i := 0; i < 4; i++ {
+		p.Insert(1, i%4)
+	}
+	if p.PSEL() != start+6 {
+		t.Fatalf("PSEL after BIP-leader misses = %d, want %d", p.PSEL(), start+6)
+	}
+}
+
+func TestDIPPselSaturates(t *testing.T) {
+	p := newDIP(64, 4)
+	for i := 0; i < dipPselMax*2; i++ {
+		p.Insert(0, i%4)
+	}
+	if p.PSEL() != dipPselMax {
+		t.Fatalf("PSEL = %d, want saturation at %d", p.PSEL(), dipPselMax)
+	}
+	for i := 0; i < dipPselMax*3; i++ {
+		p.Insert(1, i%4)
+	}
+	if p.PSEL() != 0 {
+		t.Fatalf("PSEL = %d, want saturation at 0", p.PSEL())
+	}
+}
+
+func TestDIPFollowersObeyWinner(t *testing.T) {
+	p := newDIP(64, 4)
+	// Drive PSEL high: BIP wins; follower inserts go (mostly) to LRU.
+	for i := 0; i < dipPselMax; i++ {
+		p.Insert(0, i%4)
+	}
+	lruInserts := 0
+	for i := 0; i < 31; i++ { // 31 fills: below the 1/32 MRU break
+		p.Insert(5, 2)
+		if p.StackPosition(5, 2) == 3 {
+			lruInserts++
+		}
+	}
+	if lruInserts < 29 {
+		t.Fatalf("with BIP winning, only %d/31 follower inserts went to LRU", lruInserts)
+	}
+	// Drive PSEL low: LRU wins; follower inserts go to MRU.
+	for i := 0; i < 2*dipPselMax; i++ {
+		p.Insert(1, i%4)
+	}
+	p.Insert(6, 1)
+	if p.StackPosition(6, 1) != 0 {
+		t.Fatal("with LRU winning, follower insert not at MRU")
+	}
+}
+
+func TestNewKindsRegistered(t *testing.T) {
+	for _, k := range []Kind{LIP, BIP, DIP} {
+		p := New(k, 4, 4)
+		if p.Name() != k.String() {
+			t.Errorf("kind %v: Name %q != String %q", k, p.Name(), k.String())
+		}
+	}
+}
+
+// TestInsertionPoliciesKeepQBSContract extends the promote-and-reselect
+// guarantee to the insertion-policy family.
+func TestInsertionPoliciesKeepQBSContract(t *testing.T) {
+	for _, k := range []Kind{LIP, BIP, DIP} {
+		p := New(k, 4, 4)
+		for i := 0; i < 50; i++ {
+			set := i % 4
+			p.Insert(set, i%4)
+			v := p.Victim(set)
+			p.Touch(set, v)
+			if p.Victim(set) == v {
+				t.Fatalf("%v: victim unchanged after Touch", k)
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package replacement
+
+// DRRIP (Dynamic RRIP, Jaleel et al. ISCA 2010 — the same authors'
+// companion work the paper cites as [14]) set-duels SRRIP against
+// BRRIP:
+//
+//   - BRRIP ("bimodal RRIP") inserts lines at the distant RRPV and only
+//     occasionally (1/32) at long, making it thrash-resistant the same
+//     way BIP is for LRU.
+//   - DRRIP dedicates leader sets to each and steers follower sets with
+//     a saturating PSEL counter trained by leader-set misses.
+//
+// Both reuse the srrip state machine, so hits, demotions, and victim
+// search behave identically to SRRIP.
+
+// Additional RRIP policy kinds.
+const (
+	// BRRIP is bimodal RRIP insertion.
+	BRRIP Kind = iota + 200
+	// DRRIP set-duels SRRIP against BRRIP.
+	DRRIP
+)
+
+type brrip struct {
+	*srrip
+	fills uint64
+}
+
+func newBRRIP(numSets, assoc int) *brrip { return &brrip{srrip: newSRRIP(numSets, assoc)} }
+
+func (p *brrip) Name() string { return "BRRIP" }
+
+func (p *brrip) Insert(set, way int) {
+	p.fills++
+	if p.fills%bipEpsilonInverse == 0 {
+		p.rrpv[set][way] = p.max - 1 // long
+		return
+	}
+	p.rrpv[set][way] = p.max // distant
+}
+
+type drrip struct {
+	*srrip
+	fills uint64
+	psel  int
+}
+
+func newDRRIP(numSets, assoc int) *drrip {
+	return &drrip{srrip: newSRRIP(numSets, assoc), psel: dipPselMax / 2}
+}
+
+func (p *drrip) Name() string { return "DRRIP" }
+
+func (p *drrip) Insert(set, way int) {
+	useBRRIP := false
+	switch dipLeader(set) {
+	case 0: // SRRIP leader missed: vote for BRRIP
+		if p.psel < dipPselMax {
+			p.psel++
+		}
+	case 1: // BRRIP leader missed: vote for SRRIP
+		if p.psel > 0 {
+			p.psel--
+		}
+		useBRRIP = true
+	default:
+		useBRRIP = p.psel > dipPselMax/2
+	}
+	if dipLeader(set) == 0 {
+		p.srrip.Insert(set, way) // SRRIP leaders always insert long
+		return
+	}
+	if useBRRIP {
+		p.fills++
+		if p.fills%bipEpsilonInverse == 0 {
+			p.rrpv[set][way] = p.max - 1
+		} else {
+			p.rrpv[set][way] = p.max
+		}
+		return
+	}
+	p.srrip.Insert(set, way)
+}
+
+// PSEL exposes the selector for tests.
+func (p *drrip) PSEL() int { return p.psel }

@@ -1,0 +1,111 @@
+package replacement
+
+import "testing"
+
+func TestBRRIPInsertsDistant(t *testing.T) {
+	p := newBRRIP(1, 4)
+	if p.Name() != "BRRIP" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	long, distant := 0, 0
+	for i := 0; i < 32*8; i++ {
+		p.Insert(0, 1)
+		switch p.rrpv[0][1] {
+		case p.max:
+			distant++
+		case p.max - 1:
+			long++
+		default:
+			t.Fatalf("unexpected RRPV %d after BRRIP insert", p.rrpv[0][1])
+		}
+	}
+	if long != 8 {
+		t.Fatalf("long insertions = %d of 256, want exactly 8 (1/32)", long)
+	}
+	if distant != 248 {
+		t.Fatalf("distant insertions = %d", distant)
+	}
+}
+
+func TestBRRIPResistsThrash(t *testing.T) {
+	// A touched resident survives a fill stream under BRRIP: stream
+	// fills land distant and evict each other.
+	p := newBRRIP(1, 4)
+	p.Insert(0, 0)
+	p.Touch(0, 0) // resident at RRPV 0
+	for i := 0; i < 100; i++ {
+		v := p.Victim(0)
+		if v == 0 {
+			t.Fatalf("iteration %d: BRRIP evicted the touched resident", i)
+		}
+		p.Insert(0, v)
+	}
+}
+
+func TestDRRIPLeadersAndPsel(t *testing.T) {
+	p := newDRRIP(64, 4)
+	start := p.PSEL()
+	for i := 0; i < 7; i++ {
+		p.Insert(0, i%4) // SRRIP leader set: votes for BRRIP
+	}
+	if p.PSEL() != start+7 {
+		t.Fatalf("PSEL = %d, want %d", p.PSEL(), start+7)
+	}
+	for i := 0; i < 3; i++ {
+		p.Insert(1, i%4) // BRRIP leader set: votes for SRRIP
+	}
+	if p.PSEL() != start+4 {
+		t.Fatalf("PSEL = %d, want %d", p.PSEL(), start+4)
+	}
+	// SRRIP leader always inserts long.
+	p.Insert(0, 2)
+	if p.rrpv[0][2] != p.max-1 {
+		t.Fatalf("SRRIP leader inserted at %d", p.rrpv[0][2])
+	}
+}
+
+func TestDRRIPFollowersSwitch(t *testing.T) {
+	p := newDRRIP(64, 4)
+	// Saturate toward BRRIP.
+	for i := 0; i < 2*dipPselMax; i++ {
+		p.Insert(0, i%4)
+	}
+	if p.PSEL() != dipPselMax {
+		t.Fatalf("PSEL = %d", p.PSEL())
+	}
+	distant := 0
+	for i := 0; i < 31; i++ {
+		p.Insert(5, 1)
+		if p.rrpv[5][1] == p.max {
+			distant++
+		}
+	}
+	if distant < 29 {
+		t.Fatalf("with BRRIP winning, only %d/31 follower inserts were distant", distant)
+	}
+	// Saturate toward SRRIP.
+	for i := 0; i < 3*dipPselMax; i++ {
+		p.Insert(1, i%4)
+	}
+	p.Insert(6, 1)
+	if p.rrpv[6][1] != p.max-1 {
+		t.Fatalf("with SRRIP winning, follower inserted at %d", p.rrpv[6][1])
+	}
+}
+
+func TestRRIPKindsRegistered(t *testing.T) {
+	for _, k := range []Kind{BRRIP, DRRIP} {
+		p := New(k, 4, 4)
+		if p.Name() != k.String() {
+			t.Errorf("kind %v: Name %q != String %q", k, p.Name(), k.String())
+		}
+		// Victim always valid.
+		for i := 0; i < 20; i++ {
+			p.Insert(i%4, i%4)
+			v := p.Victim(i % 4)
+			if v < 0 || v >= 4 {
+				t.Fatalf("%v: victim %d out of range", k, v)
+			}
+		}
+	}
+}

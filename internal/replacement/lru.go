@@ -1,0 +1,69 @@
+package replacement
+
+// lru keeps an exact recency stack per set. stack[set][0] is the MRU
+// way and stack[set][assoc-1] the LRU way. Operations are O(assoc),
+// which is fine for the associativities used in cache simulation
+// (4–16 ways) and keeps the representation trivially auditable.
+type lru struct {
+	assoc int
+	stack [][]uint8 // stack[set][pos] = way
+	pos   [][]uint8 // pos[set][way] = position in stack (inverse map)
+}
+
+func newLRU(numSets, assoc int) *lru {
+	if assoc > 256 {
+		panic("replacement: LRU supports at most 256 ways")
+	}
+	p := &lru{
+		assoc: assoc,
+		stack: make([][]uint8, numSets),
+		pos:   make([][]uint8, numSets),
+	}
+	for s := range p.stack {
+		p.stack[s] = make([]uint8, assoc)
+		p.pos[s] = make([]uint8, assoc)
+		for w := 0; w < assoc; w++ {
+			p.stack[s][w] = uint8(w)
+			p.pos[s][w] = uint8(w)
+		}
+	}
+	return p
+}
+
+func (p *lru) Name() string { return "LRU" }
+
+// moveTo moves way to position target within set's stack, shifting the
+// intervening entries by one.
+func (p *lru) moveTo(set, way, target int) {
+	cur := int(p.pos[set][way])
+	if cur == target {
+		return
+	}
+	st := p.stack[set]
+	if cur < target {
+		// Shift entries (cur, target] left by one.
+		for i := cur; i < target; i++ {
+			st[i] = st[i+1]
+			p.pos[set][st[i]] = uint8(i)
+		}
+	} else {
+		// Shift entries [target, cur) right by one.
+		for i := cur; i > target; i-- {
+			st[i] = st[i-1]
+			p.pos[set][st[i]] = uint8(i)
+		}
+	}
+	st[target] = uint8(way)
+	p.pos[set][way] = uint8(target)
+}
+
+func (p *lru) Touch(set, way int)  { p.moveTo(set, way, 0) }
+func (p *lru) Insert(set, way int) { p.moveTo(set, way, 0) }
+func (p *lru) Demote(set, way int) { p.moveTo(set, way, p.assoc-1) }
+
+func (p *lru) Victim(set int) int { return int(p.stack[set][p.assoc-1]) }
+
+// StackPosition reports way's distance from MRU (0 = MRU). It is
+// exported on the concrete type for tests and for the Figure 3 worked
+// example, which needs to display LRU chains.
+func (p *lru) StackPosition(set, way int) int { return int(p.pos[set][way]) }

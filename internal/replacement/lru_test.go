@@ -1,0 +1,160 @@
+package replacement
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLRUInitialVictimIsLastWay(t *testing.T) {
+	p := newLRU(4, 8)
+	for s := 0; s < 4; s++ {
+		if got := p.Victim(s); got != 7 {
+			t.Errorf("set %d: initial victim = %d, want 7", s, got)
+		}
+	}
+}
+
+func TestLRUTouchMovesToMRU(t *testing.T) {
+	p := newLRU(1, 4)
+	p.Touch(0, 2)
+	if got := p.StackPosition(0, 2); got != 0 {
+		t.Fatalf("touched way position = %d, want 0 (MRU)", got)
+	}
+	if got := p.Victim(0); got == 2 {
+		t.Fatalf("victim = touched way %d", got)
+	}
+}
+
+func TestLRUVictimIsLeastRecentlyTouched(t *testing.T) {
+	p := newLRU(1, 4)
+	// Touch ways in order 3,1,0,2; way 3 is now least recently used.
+	for _, w := range []int{3, 1, 0, 2} {
+		p.Touch(0, w)
+	}
+	if got := p.Victim(0); got != 3 {
+		t.Fatalf("victim = %d, want 3", got)
+	}
+}
+
+func TestLRUDemoteMakesVictim(t *testing.T) {
+	p := newLRU(1, 8)
+	for w := 0; w < 8; w++ {
+		p.Touch(0, w)
+	}
+	p.Demote(0, 4)
+	if got := p.Victim(0); got != 4 {
+		t.Fatalf("victim after demote = %d, want 4", got)
+	}
+}
+
+func TestLRUSetsAreIndependent(t *testing.T) {
+	p := newLRU(2, 4)
+	p.Touch(0, 3)
+	if got := p.Victim(1); got != 3 {
+		t.Fatalf("set 1 victim = %d; touching set 0 must not affect set 1", got)
+	}
+}
+
+// refLRU is a trivially-correct reference: a slice ordered MRU-first.
+type refLRU []int
+
+func newRefLRU(assoc int) refLRU {
+	r := make(refLRU, assoc)
+	for i := range r {
+		r[i] = i
+	}
+	return r
+}
+
+func (r refLRU) promote(way int) {
+	idx := 0
+	for i, w := range r {
+		if w == way {
+			idx = i
+			break
+		}
+	}
+	copy(r[1:idx+1], r[:idx])
+	r[0] = way
+}
+
+func (r refLRU) demote(way int) {
+	idx := 0
+	for i, w := range r {
+		if w == way {
+			idx = i
+			break
+		}
+	}
+	copy(r[idx:], r[idx+1:len(r)])
+	r[len(r)-1] = way
+}
+
+// TestLRUMatchesReferenceModel drives the packed LRU implementation and
+// the obviously-correct slice model with the same random operation
+// stream and requires identical victims throughout.
+func TestLRUMatchesReferenceModel(t *testing.T) {
+	const assoc = 16
+	f := func(ops []uint16) bool {
+		p := newLRU(1, assoc)
+		ref := newRefLRU(assoc)
+		for _, op := range ops {
+			way := int(op) % assoc
+			switch (int(op) / assoc) % 3 {
+			case 0:
+				p.Touch(0, way)
+				ref.promote(way)
+			case 1:
+				p.Insert(0, way)
+				ref.promote(way)
+			case 2:
+				p.Demote(0, way)
+				ref.demote(way)
+			}
+			if p.Victim(0) != ref[assoc-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLRUStackIsPermutation checks the internal stack remains a
+// permutation of the ways under random operations.
+func TestLRUStackIsPermutation(t *testing.T) {
+	const assoc = 8
+	f := func(ops []uint8) bool {
+		p := newLRU(1, assoc)
+		for _, op := range ops {
+			way := int(op) % assoc
+			switch (int(op) / assoc) % 3 {
+			case 0:
+				p.Touch(0, way)
+			case 1:
+				p.Insert(0, way)
+			case 2:
+				p.Demote(0, way)
+			}
+			seen := [assoc]bool{}
+			for _, w := range p.stack[0] {
+				if seen[w] {
+					return false
+				}
+				seen[w] = true
+			}
+			// pos must stay the inverse of stack.
+			for i, w := range p.stack[0] {
+				if int(p.pos[0][w]) != i {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,61 @@
+package replacement
+
+// nru implements Not Recently Used replacement, the paper's baseline
+// LLC policy. Each line carries one reference bit; a reference sets the
+// bit, and when every bit in a set would become 1 all other bits are
+// cleared (a new "generation"). The victim is the lowest-indexed way
+// whose bit is clear, so at least one victim always exists.
+type nru struct {
+	assoc int
+	ref   [][]bool // ref[set][way]
+	live  []int    // number of set bits per set, to detect generations
+}
+
+func newNRU(numSets, assoc int) *nru {
+	p := &nru{
+		assoc: assoc,
+		ref:   make([][]bool, numSets),
+		live:  make([]int, numSets),
+	}
+	for s := range p.ref {
+		p.ref[s] = make([]bool, assoc)
+	}
+	return p
+}
+
+func (p *nru) Name() string { return "NRU" }
+
+// mark sets way's reference bit, starting a new generation if the set
+// would otherwise have every bit set.
+func (p *nru) mark(set, way int) {
+	if !p.ref[set][way] {
+		p.ref[set][way] = true
+		p.live[set]++
+	}
+	if p.live[set] == p.assoc {
+		for w := 0; w < p.assoc; w++ {
+			p.ref[set][w] = w == way
+		}
+		p.live[set] = 1
+	}
+}
+
+func (p *nru) Touch(set, way int)  { p.mark(set, way) }
+func (p *nru) Insert(set, way int) { p.mark(set, way) }
+
+func (p *nru) Demote(set, way int) {
+	if p.ref[set][way] {
+		p.ref[set][way] = false
+		p.live[set]--
+	}
+}
+
+func (p *nru) Victim(set int) int {
+	for w := 0; w < p.assoc; w++ {
+		if !p.ref[set][w] {
+			return w
+		}
+	}
+	// Unreachable: mark never leaves a set fully referenced.
+	return 0
+}

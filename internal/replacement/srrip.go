@@ -1,0 +1,50 @@
+package replacement
+
+// srrip implements Static Re-Reference Interval Prediction with 2-bit
+// re-reference prediction values (RRPVs). Lines are inserted with a
+// "long" re-reference prediction (RRPV = max-1), promoted to "near
+// immediate" (RRPV = 0) on a hit, and evicted when their RRPV reaches
+// the "distant" value (max). When no way is distant, all RRPVs age in
+// lockstep until one is.
+type srrip struct {
+	assoc int
+	max   uint8
+	rrpv  [][]uint8
+}
+
+const srripBits = 2
+
+func newSRRIP(numSets, assoc int) *srrip {
+	p := &srrip{
+		assoc: assoc,
+		max:   1<<srripBits - 1,
+		rrpv:  make([][]uint8, numSets),
+	}
+	for s := range p.rrpv {
+		p.rrpv[s] = make([]uint8, assoc)
+		for w := range p.rrpv[s] {
+			p.rrpv[s][w] = p.max
+		}
+	}
+	return p
+}
+
+func (p *srrip) Name() string { return "SRRIP" }
+
+func (p *srrip) Touch(set, way int)  { p.rrpv[set][way] = 0 }
+func (p *srrip) Insert(set, way int) { p.rrpv[set][way] = p.max - 1 }
+func (p *srrip) Demote(set, way int) { p.rrpv[set][way] = p.max }
+
+func (p *srrip) Victim(set int) int {
+	rr := p.rrpv[set]
+	for {
+		for w := 0; w < p.assoc; w++ {
+			if rr[w] == p.max {
+				return w
+			}
+		}
+		for w := 0; w < p.assoc; w++ {
+			rr[w]++
+		}
+	}
+}

@@ -1,0 +1,318 @@
+// Package sim drives multi-programmed workloads through a cache
+// hierarchy and the core timing model, reproducing the paper's
+// methodology: every core runs its benchmark's instruction stream;
+// statistics for a core freeze once it commits its instruction budget;
+// faster cores keep executing — and keep competing for the shared LLC —
+// until every core has reached its budget.
+package sim
+
+import (
+	"fmt"
+
+	"tlacache/internal/cpu"
+	"tlacache/internal/hierarchy"
+	"tlacache/internal/metrics"
+	"tlacache/internal/trace"
+	"tlacache/internal/workload"
+)
+
+// coreSpacing separates per-core address spaces: the benchmarks in a
+// mix are independent processes (as in the paper), so neither code nor
+// data is shared between cores.
+const coreSpacing = uint64(1) << 46
+
+// Config parameterises a simulation run.
+type Config struct {
+	Hierarchy hierarchy.Config
+	CPU       cpu.Config
+	// Instructions is the per-core measurement budget (the paper uses
+	// 250M per PinPoint; experiments here default to a few million —
+	// the working sets are identical, only the measurement window
+	// shrinks).
+	Instructions uint64
+	// Warmup instructions run per core before statistics are cleared
+	// and measurement begins. Cache and prefetcher state carries over;
+	// only counters reset. A warmup of at least ~1M instructions lets
+	// the 2MB LLC fill and reach replacement steady state, which the
+	// paper's 250M-instruction runs get implicitly.
+	Warmup uint64
+	// Seed diversifies the synthetic streams; a mix is reproducible
+	// given (Config, Mix).
+	Seed uint64
+	// InvariantEvery, when positive, verifies the hierarchy's
+	// structural invariants (inclusion, exclusion, directory coverage)
+	// every InvariantEvery committed instructions and aborts the run on
+	// a violation. Meant for debugging and the test suite; it is too
+	// expensive for production sweeps.
+	InvariantEvery uint64
+}
+
+// DefaultConfig is the paper's baseline machine for the given core
+// count with a 2M-instruction budget.
+func DefaultConfig(cores int) Config {
+	return Config{
+		Hierarchy:    hierarchy.DefaultConfig(cores),
+		CPU:          cpu.Default(),
+		Instructions: 2_000_000,
+		Warmup:       1_000_000,
+		Seed:         1,
+	}
+}
+
+// Validate reports the first configuration problem.
+func (c *Config) Validate() error {
+	if err := c.Hierarchy.Validate(); err != nil {
+		return err
+	}
+	if err := c.CPU.Validate(); err != nil {
+		return err
+	}
+	if c.Instructions == 0 {
+		return fmt.Errorf("sim: zero instruction budget")
+	}
+	return nil
+}
+
+// AppResult is one application's measurement window.
+type AppResult struct {
+	Benchmark    string
+	Instructions uint64
+	Cycles       uint64
+	IPC          float64
+
+	L1I, L1D, L2, LLC hierarchy.LevelStats
+
+	// MPKI values follow Table I's convention: L1 combines the
+	// instruction and data caches.
+	L1MPKI  float64
+	L2MPKI  float64
+	LLCMPKI float64
+
+	InclusionVictims uint64
+	// L2InclusionVictims counts L1 lines lost to an inclusive L2's
+	// evictions (zero unless hierarchy.Config.L2Inclusive is set).
+	L2InclusionVictims uint64
+}
+
+// MixResult is a full mix run.
+type MixResult struct {
+	Mix  workload.Mix
+	Apps []AppResult
+	// Traffic is the hierarchy-global message accounting over the whole
+	// run (including post-budget execution of fast cores, exactly like
+	// the messages a real machine would keep exchanging).
+	Traffic hierarchy.Traffic
+	// Throughput is the sum of per-app IPCs, the paper's headline
+	// metric.
+	Throughput float64
+	// LLCMisses sums the apps' windowed demand LLC misses, the metric
+	// of Figure 8.
+	LLCMisses uint64
+	// InclusionVictims sums the apps' windowed inclusion victims.
+	InclusionVictims uint64
+}
+
+// offsetGen shifts a generator's code and data addresses into a
+// per-core address space.
+type offsetGen struct {
+	inner  trace.Generator
+	offset uint64
+}
+
+func (g *offsetGen) Name() string { return g.inner.Name() }
+func (g *offsetGen) Reset()       { g.inner.Reset() }
+func (g *offsetGen) Next(in *trace.Instr) {
+	g.inner.Next(in)
+	in.PC += g.offset
+	if in.Op != trace.OpNone {
+		in.Addr += g.offset
+	}
+}
+
+// RunMix simulates mix on cfg's machine. The mix must supply exactly
+// one benchmark per configured core.
+func RunMix(cfg Config, mix workload.Mix) (MixResult, error) {
+	bs, err := mix.Benchmarks()
+	if err != nil {
+		return MixResult{}, err
+	}
+	if len(bs) != cfg.Hierarchy.Cores {
+		return MixResult{}, fmt.Errorf("sim: mix %s has %d apps for %d cores",
+			mix.Name, len(bs), cfg.Hierarchy.Cores)
+	}
+	gens := make([]trace.Generator, len(bs))
+	for i := range bs {
+		if gens[i], err = bs[i].NewGenerator(cfg.Seed + uint64(i)*0x9e37); err != nil {
+			return MixResult{}, err
+		}
+	}
+	res, err := RunGenerators(cfg, gens)
+	if err != nil {
+		return MixResult{}, err
+	}
+	res.Mix = mix
+	return res, nil
+}
+
+// RunGenerators simulates one instruction stream per core — any
+// trace.Generator, e.g. recorded trace replays — on cfg's machine.
+// Each stream is shifted into a private per-core address space first,
+// matching the paper's multi-programmed (no sharing) methodology.
+func RunGenerators(cfg Config, streams []trace.Generator) (MixResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return MixResult{}, err
+	}
+	if len(streams) != cfg.Hierarchy.Cores {
+		return MixResult{}, fmt.Errorf("sim: %d streams for %d cores",
+			len(streams), cfg.Hierarchy.Cores)
+	}
+	h, err := hierarchy.New(cfg.Hierarchy)
+	if err != nil {
+		return MixResult{}, err
+	}
+
+	n := cfg.Hierarchy.Cores
+	gens := make([]trace.Generator, n)
+	cores := make([]*cpu.Core, n)
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		if streams[i] == nil {
+			return MixResult{}, fmt.Errorf("sim: stream %d is nil", i)
+		}
+		names[i] = streams[i].Name()
+		gens[i] = &offsetGen{inner: streams[i], offset: uint64(i) * coreSpacing}
+		if cores[i], err = cpu.New(cfg.CPU); err != nil {
+			return MixResult{}, err
+		}
+	}
+
+	res := MixResult{Mix: workload.Mix{Name: "custom", Apps: names}, Apps: make([]AppResult, n)}
+	committed := make([]uint64, n)
+	finished := make([]bool, n)
+	hitLat := cfg.Hierarchy.Latency.L1
+
+	// run interleaves the cores — always advancing the one whose clock
+	// is furthest behind — until each has committed `budget`
+	// instructions since the last counter reset. Cores that reach the
+	// budget keep executing (and keep competing for the LLC) until the
+	// slowest one arrives; onBudget fires once per core at the
+	// crossing.
+	var in trace.Instr
+	var total uint64
+	run := func(budget uint64, onBudget func(core int)) error {
+		remaining := n
+		for remaining > 0 {
+			c := 0
+			for i := 1; i < n; i++ {
+				if cores[i].Cycle() < cores[c].Cycle() {
+					c = i
+				}
+			}
+			gens[c].Next(&in)
+			now := cores[c].Cycle()
+			fetch := h.AccessAt(c, hierarchy.IFetch, in.PC, now)
+			var memLat uint64
+			if in.Op != trace.OpNone {
+				kind := hierarchy.Load
+				if in.Op == trace.OpStore {
+					kind = hierarchy.Store
+				}
+				memLat = h.AccessAt(c, kind, in.Addr, now).Latency
+			}
+			cores[c].Instr(fetch.Latency, memLat, hitLat)
+			committed[c]++
+			total++
+			if cfg.InvariantEvery > 0 && total%cfg.InvariantEvery == 0 {
+				if err := h.CheckInvariants(); err != nil {
+					return fmt.Errorf("sim: after %d instructions: %w", total, err)
+				}
+			}
+			if !finished[c] && committed[c] == budget {
+				finished[c] = true
+				remaining--
+				if onBudget != nil {
+					onBudget(c)
+				}
+			}
+		}
+		return nil
+	}
+
+	if cfg.Warmup > 0 {
+		if err := run(cfg.Warmup, nil); err != nil {
+			return MixResult{}, err
+		}
+		// Counters reset; cache, prefetcher, and victim-cache state
+		// carries into the measurement window.
+		for i := range h.Cores {
+			h.Cores[i] = hierarchy.CoreStats{}
+		}
+		h.Traffic = hierarchy.Traffic{}
+		for i := range cores {
+			cores[i].Reset()
+			committed[i] = 0
+			finished[i] = false
+		}
+	}
+	if err := run(cfg.Instructions, func(c int) {
+		res.Apps[c] = snapshot(names[c], cores[c], &h.Cores[c], cfg.Instructions)
+	}); err != nil {
+		return MixResult{}, err
+	}
+
+	res.Traffic = h.Traffic
+	ipcs := make([]float64, n)
+	for i, a := range res.Apps {
+		ipcs[i] = a.IPC
+		res.LLCMisses += a.LLC.Misses
+		res.InclusionVictims += a.InclusionVictims
+	}
+	res.Throughput = metrics.Throughput(ipcs)
+	return res, nil
+}
+
+// snapshot freezes a core's windowed statistics the moment it commits
+// its budget. Finish drains outstanding misses so the cycle count is
+// honest about in-flight work; the core remains usable afterwards.
+func snapshot(name string, core *cpu.Core, cs *hierarchy.CoreStats, instructions uint64) AppResult {
+	cycles := core.Finish()
+	a := AppResult{
+		Benchmark:    name,
+		Instructions: instructions,
+		Cycles:       cycles,
+		L1I:          cs.L1I,
+		L1D:          cs.L1D,
+		L2:           cs.L2,
+		LLC:          cs.LLC,
+
+		L1MPKI:  metrics.MPKI(cs.L1I.Misses+cs.L1D.Misses, instructions),
+		L2MPKI:  metrics.MPKI(cs.L2.Misses, instructions),
+		LLCMPKI: metrics.MPKI(cs.LLC.Misses, instructions),
+
+		InclusionVictims:   cs.InclusionVictims,
+		L2InclusionVictims: cs.L2InclusionVictims,
+	}
+	if cycles > 0 {
+		a.IPC = float64(instructions) / float64(cycles)
+	}
+	return a
+}
+
+// RunIsolation runs one benchmark alone on a single-core machine that
+// keeps the shared-cache geometry of cfg (the paper's Table I setup:
+// isolation, full LLC, no prefetching unless configured). The passed
+// Benchmark's profile is used as-is, so callers may run customised
+// variants without registering them.
+func RunIsolation(cfg Config, b workload.Benchmark) (AppResult, error) {
+	iso := cfg
+	iso.Hierarchy.Cores = 1
+	g, err := b.NewGenerator(cfg.Seed)
+	if err != nil {
+		return AppResult{}, err
+	}
+	mr, err := RunGenerators(iso, []trace.Generator{g})
+	if err != nil {
+		return AppResult{}, err
+	}
+	return mr.Apps[0], nil
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The binary trace format is a small, stream-friendly container for
+// instruction traces so that streams can be captured once (cmd/tracegen)
+// and replayed byte-identically. Layout:
+//
+//	magic   "TLAT1\n"
+//	records repeated until EOF:
+//	    op      1 byte  (OpNone | OpLoad | OpStore)
+//	    pcΔ     signed varint, delta from the previous record's PC
+//	    addr    unsigned varint, present only when op != OpNone
+//
+// PC deltas are almost always +4, so traces stay near 2 bytes per
+// instruction without a compression layer.
+
+var fileMagic = []byte("TLAT1\n")
+
+// Writer encodes an instruction stream into the binary trace format.
+type Writer struct {
+	w      *bufio.Writer
+	lastPC uint64
+	count  uint64
+	buf    [2 * binary.MaxVarintLen64]byte
+}
+
+// NewWriter writes the file header and returns a Writer. Call Flush
+// when done.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(fileMagic); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one instruction record.
+func (tw *Writer) Write(in Instr) error {
+	if in.Op > OpStore {
+		return fmt.Errorf("trace: invalid op %d", in.Op)
+	}
+	b := tw.buf[:0]
+	b = append(b, byte(in.Op))
+	b = binary.AppendVarint(b, int64(in.PC)-int64(tw.lastPC))
+	if in.Op != OpNone {
+		b = binary.AppendUvarint(b, in.Addr)
+	}
+	if _, err := tw.w.Write(b); err != nil {
+		return fmt.Errorf("trace: writing record: %w", err)
+	}
+	tw.lastPC = in.PC
+	tw.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (tw *Writer) Count() uint64 { return tw.count }
+
+// Flush flushes buffered records to the underlying writer.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Reader decodes a binary trace stream record by record.
+type Reader struct {
+	r      *bufio.Reader
+	lastPC uint64
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr) != string(fileMagic) {
+		return nil, errors.New("trace: bad magic (not a TLAT1 trace)")
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read decodes the next record into in. It returns io.EOF at a clean
+// end of stream and a wrapped error on corruption.
+func (tr *Reader) Read(in *Instr) error {
+	op, err := tr.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("trace: reading op: %w", err)
+	}
+	if Op(op) > OpStore {
+		return fmt.Errorf("trace: invalid op byte %d", op)
+	}
+	delta, err := binary.ReadVarint(tr.r)
+	if err != nil {
+		return fmt.Errorf("trace: reading pc delta: %w", err)
+	}
+	tr.lastPC = uint64(int64(tr.lastPC) + delta)
+	in.PC = tr.lastPC
+	in.Op = Op(op)
+	in.Addr = 0
+	if in.Op != OpNone {
+		if in.Addr, err = binary.ReadUvarint(tr.r); err != nil {
+			return fmt.Errorf("trace: reading addr: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadAll decodes every remaining record.
+func (tr *Reader) ReadAll() ([]Instr, error) {
+	var out []Instr
+	var in Instr
+	for {
+		err := tr.Read(&in)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, in)
+	}
+}
+
+// Replay is a Generator that loops over a fixed record slice forever,
+// so recorded traces can drive the same infinite-stream simulator
+// interface as synthetic workloads (matching the paper's methodology,
+// where short PinPoints are effectively re-run until every core
+// finishes its budget).
+type Replay struct {
+	name    string
+	records []Instr
+	pos     int
+}
+
+// NewReplay wraps records as a looping Generator. It returns an error
+// for an empty trace, which cannot drive an infinite stream.
+func NewReplay(name string, records []Instr) (*Replay, error) {
+	if len(records) == 0 {
+		return nil, errors.New("trace: empty trace cannot be replayed")
+	}
+	return &Replay{name: name, records: records}, nil
+}
+
+// Name returns the name given at construction.
+func (g *Replay) Name() string { return g.name }
+
+// Reset rewinds to the first record.
+func (g *Replay) Reset() { g.pos = 0 }
+
+// Next yields the next record, wrapping at the end.
+func (g *Replay) Next(in *Instr) {
+	*in = g.records[g.pos]
+	g.pos++
+	if g.pos == len(g.records) {
+		g.pos = 0
+	}
+}

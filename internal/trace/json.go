@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Profiles serialise to JSON so users can define custom workloads
+// without recompiling (tlasim -profile). Patterns render as the strings
+// "stream" and "random".
+
+// MarshalJSON renders the pattern name.
+func (p Pattern) MarshalJSON() ([]byte, error) {
+	switch p {
+	case Stream:
+		return []byte(`"stream"`), nil
+	case Random:
+		return []byte(`"random"`), nil
+	default:
+		return nil, fmt.Errorf("trace: unknown pattern %d", uint8(p))
+	}
+}
+
+// UnmarshalJSON accepts "stream" or "random".
+func (p *Pattern) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("trace: pattern must be a string: %w", err)
+	}
+	switch s {
+	case "stream":
+		*p = Stream
+	case "random":
+		*p = Random
+	default:
+		return fmt.Errorf("trace: unknown pattern %q (want stream or random)", s)
+	}
+	return nil
+}
+
+// LoadProfile decodes and validates a JSON profile.
+func LoadProfile(r io.Reader) (Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Profile{}, fmt.Errorf("trace: decoding profile: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// SaveProfile encodes a profile as indented JSON.
+func SaveProfile(w io.Writer, p Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	p := testProfile()
+	var buf bytes.Buffer
+	if err := SaveProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != p.Name || got.MemPerMille != p.MemPerMille ||
+		len(got.Components) != len(p.Components) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, p)
+	}
+	for i := range p.Components {
+		if got.Components[i] != p.Components[i] {
+			t.Fatalf("component %d mismatch: %+v vs %+v", i, got.Components[i], p.Components[i])
+		}
+	}
+	// Same seed, same stream after a round trip.
+	a := MustSynthetic(p, 5)
+	b := MustSynthetic(got, 5)
+	var ia, ib Instr
+	for i := 0; i < 1000; i++ {
+		a.Next(&ia)
+		b.Next(&ib)
+		if ia != ib {
+			t.Fatal("round-tripped profile generates a different stream")
+		}
+	}
+}
+
+func TestPatternJSON(t *testing.T) {
+	if b, err := Stream.MarshalJSON(); err != nil || string(b) != `"stream"` {
+		t.Errorf("Stream marshal = %s, %v", b, err)
+	}
+	if b, err := Random.MarshalJSON(); err != nil || string(b) != `"random"` {
+		t.Errorf("Random marshal = %s, %v", b, err)
+	}
+	if _, err := Pattern(9).MarshalJSON(); err == nil {
+		t.Error("unknown pattern marshalled")
+	}
+	var p Pattern
+	if err := p.UnmarshalJSON([]byte(`"stream"`)); err != nil || p != Stream {
+		t.Errorf("unmarshal stream = %v, %v", p, err)
+	}
+	if err := p.UnmarshalJSON([]byte(`"bogus"`)); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+	if err := p.UnmarshalJSON([]byte(`42`)); err == nil {
+		t.Error("numeric pattern accepted")
+	}
+}
+
+func TestLoadProfileRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{`,              // truncated
+		`{"Unknown": 1}`, // unknown field
+		`{"Name": ""}`,   // fails validation
+		`{"Name": "x", "CodeBytes": 4096, "BranchEvery": 8, "MemPerMille": 2000}`, // out of range
+	}
+	for _, in := range cases {
+		if _, err := LoadProfile(strings.NewReader(in)); err == nil {
+			t.Errorf("LoadProfile accepted %q", in)
+		}
+	}
+}
+
+func TestSaveProfileValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveProfile(&buf, Profile{}); err == nil {
+		t.Error("SaveProfile accepted an invalid profile")
+	}
+}

@@ -1,0 +1,228 @@
+package trace
+
+import "fmt"
+
+// Pattern selects the shape of a data-access component.
+type Pattern uint8
+
+const (
+	// Stream walks its region with a fixed stride, wrapping at the
+	// working-set boundary. A large working set with a small stride
+	// models the no-reuse streaming of libquantum/wrf; a small one with
+	// line-sized strides models array sweeps with heavy reuse.
+	Stream Pattern = iota
+	// Random touches a uniformly random 8-byte word in its region each
+	// time, modelling hash tables and the pointer-heavy behaviour of
+	// mcf/astar/xalancbmk at cache-line granularity.
+	Random
+)
+
+// Component is one weighted data-access pattern within a synthetic
+// workload. Each component owns a private address region so components
+// never alias one another.
+type Component struct {
+	Weight  int     // relative selection weight, must be positive
+	Pattern Pattern // Stream or Random
+	WS      int64   // working-set size in bytes, must be positive
+	Stride  int64   // Stream only: bytes between consecutive accesses
+}
+
+// Profile parameterises a synthetic workload: an instruction-fetch
+// stream over a code footprint plus a weighted mixture of data
+// components. Profiles for the 15 SPEC CPU2006 surrogates live in
+// internal/workload; this package only provides the machinery.
+type Profile struct {
+	Name string
+	// CodeBytes is the instruction footprint. The PC advances 4 bytes
+	// per instruction and jumps to a random spot in the footprint on
+	// average every BranchEvery instructions, so a footprint below the
+	// L1I capacity yields a core-cache-fitting instruction stream.
+	CodeBytes   int64
+	BranchEvery int
+	// MemPerMille is the number of instructions per thousand that carry
+	// a data access; StorePerMille is the number of those accesses per
+	// thousand that are stores. Fixed-point to keep profiles exactly
+	// reproducible.
+	MemPerMille   int
+	StorePerMille int
+	Components    []Component
+}
+
+// Validate reports the first problem with the profile, or nil.
+func (p *Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("profile has no name")
+	}
+	if p.CodeBytes <= 0 {
+		return fmt.Errorf("profile %s: CodeBytes = %d", p.Name, p.CodeBytes)
+	}
+	if p.BranchEvery <= 0 {
+		return fmt.Errorf("profile %s: BranchEvery = %d", p.Name, p.BranchEvery)
+	}
+	if p.MemPerMille < 0 || p.MemPerMille > 1000 {
+		return fmt.Errorf("profile %s: MemPerMille = %d", p.Name, p.MemPerMille)
+	}
+	if p.StorePerMille < 0 || p.StorePerMille > 1000 {
+		return fmt.Errorf("profile %s: StorePerMille = %d", p.Name, p.StorePerMille)
+	}
+	if p.MemPerMille > 0 && len(p.Components) == 0 {
+		return fmt.Errorf("profile %s: memory accesses but no components", p.Name)
+	}
+	for i, c := range p.Components {
+		if c.Weight <= 0 {
+			return fmt.Errorf("profile %s component %d: weight %d", p.Name, i, c.Weight)
+		}
+		if c.WS <= 0 {
+			return fmt.Errorf("profile %s component %d: WS %d", p.Name, i, c.WS)
+		}
+		if c.Pattern == Stream && c.Stride <= 0 {
+			return fmt.Errorf("profile %s component %d: stream stride %d", p.Name, i, c.Stride)
+		}
+		if c.WS > componentSpan-int64(skewRange) {
+			return fmt.Errorf("profile %s component %d: WS %d exceeds region span", p.Name, i, c.WS)
+		}
+	}
+	return nil
+}
+
+const (
+	codeBase      = uint64(0x0040_0000)      // where the code footprint starts
+	dataBase      = uint64(0x1000_0000_0000) // first data component region
+	componentSpan = int64(1) << 36           // address space per component
+	instrBytes    = 4                        // PC advance per instruction
+	wordAlign     = 8                        // data access alignment
+	// skewRange bounds the per-region placement skew (below). Region
+	// bases are offset by a seed-derived, line-aligned amount so that
+	// different regions — and different generator instances of the same
+	// profile — do not all start at cache-set zero. Real processes get
+	// this decorrelation for free from physical page allocation;
+	// without it, multi-core mixes alias every hot working set onto the
+	// same cache sets.
+	skewRange = uint64(1) << 21 // 2MB: wider than any simulated cache's set span
+)
+
+// skew derives a deterministic line-aligned placement offset for region
+// i of a generator seeded with seed.
+func skew(seed uint64, i int) uint64 {
+	r := rng{state: seed ^ uint64(i)*0xa0761d6478bd642f}
+	return r.next() % skewRange &^ 63
+}
+
+// Synthetic generates the stream described by a Profile. It implements
+// Generator and is deterministic for a given (profile, seed) pair.
+type Synthetic struct {
+	prof        Profile
+	seed        uint64
+	rng         rng
+	pc          uint64
+	codeStart   uint64
+	totalWeight uint64
+	cursors     []int64  // per-component stream cursor
+	bases       []uint64 // per-component skewed region base
+}
+
+// NewSynthetic builds a generator for prof seeded with seed. Invalid
+// profiles return an error rather than producing garbage streams.
+func NewSynthetic(prof Profile, seed uint64) (*Synthetic, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Synthetic{prof: prof, seed: seed}
+	for _, c := range prof.Components {
+		g.totalWeight += uint64(c.Weight)
+	}
+	g.cursors = make([]int64, len(prof.Components))
+	g.codeStart = codeBase + skew(seed, len(prof.Components))
+	g.bases = make([]uint64, len(prof.Components))
+	for i := range g.bases {
+		g.bases[i] = dataBase + uint64(i)*uint64(componentSpan) + skew(seed, i)
+	}
+	g.Reset()
+	return g, nil
+}
+
+// CodeStart returns the (skewed) base of the instruction footprint.
+func (g *Synthetic) CodeStart() uint64 { return g.codeStart }
+
+// ComponentBase returns the (skewed) base of data component i.
+func (g *Synthetic) ComponentBase(i int) uint64 { return g.bases[i] }
+
+// MustSynthetic is NewSynthetic for profiles known to be valid.
+func MustSynthetic(prof Profile, seed uint64) *Synthetic {
+	g, err := NewSynthetic(prof, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Name returns the profile name.
+func (g *Synthetic) Name() string { return g.prof.Name }
+
+// Reset rewinds the stream.
+func (g *Synthetic) Reset() {
+	g.rng = rng{state: g.seed}
+	g.pc = g.codeStart
+	for i := range g.cursors {
+		g.cursors[i] = 0
+	}
+}
+
+// Next generates the next instruction.
+func (g *Synthetic) Next(in *Instr) {
+	in.PC = g.pc
+	// Advance the PC: mostly sequential, occasionally a taken branch to
+	// a random instruction within the code footprint.
+	if g.rng.chance(1, uint64(g.prof.BranchEvery)) {
+		g.pc = g.codeStart + g.rng.below(uint64(g.prof.CodeBytes)/instrBytes)*instrBytes
+	} else {
+		g.pc += instrBytes
+		if g.pc >= g.codeStart+uint64(g.prof.CodeBytes) {
+			g.pc = g.codeStart
+		}
+	}
+
+	if !g.rng.chance(uint64(g.prof.MemPerMille), 1000) {
+		in.Op, in.Addr = OpNone, 0
+		return
+	}
+	if g.rng.chance(uint64(g.prof.StorePerMille), 1000) {
+		in.Op = OpStore
+	} else {
+		in.Op = OpLoad
+	}
+	in.Addr = g.dataAddr(g.pickComponent())
+}
+
+// pickComponent selects a component index by weight.
+func (g *Synthetic) pickComponent() int {
+	if len(g.prof.Components) == 1 {
+		return 0
+	}
+	n := g.rng.below(g.totalWeight)
+	for i, c := range g.prof.Components {
+		if n < uint64(c.Weight) {
+			return i
+		}
+		n -= uint64(c.Weight)
+	}
+	return len(g.prof.Components) - 1
+}
+
+// dataAddr produces the next address for component i.
+func (g *Synthetic) dataAddr(i int) uint64 {
+	c := &g.prof.Components[i]
+	base := g.bases[i]
+	switch c.Pattern {
+	case Stream:
+		off := g.cursors[i]
+		g.cursors[i] += c.Stride
+		if g.cursors[i] >= c.WS {
+			g.cursors[i] = 0
+		}
+		return base + uint64(off)
+	default: // Random
+		words := uint64(c.WS) / wordAlign
+		return base + g.rng.below(words)*wordAlign
+	}
+}

@@ -1,0 +1,81 @@
+// Package trace defines the instruction/access stream that drives the
+// simulator and the machinery to produce such streams: deterministic
+// synthetic workload generators (the stand-ins for the paper's SPEC
+// CPU2006 PinPoint traces, which are proprietary) and a compact binary
+// trace-file format for capturing and replaying streams.
+package trace
+
+import "fmt"
+
+// Op classifies the optional data access an instruction performs.
+type Op uint8
+
+const (
+	// OpNone marks an instruction with no data-memory access.
+	OpNone Op = iota
+	// OpLoad marks a data read.
+	OpLoad
+	// OpStore marks a data write.
+	OpStore
+)
+
+// String returns "none", "load" or "store".
+func (o Op) String() string {
+	switch o {
+	case OpNone:
+		return "none"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Instr is one committed instruction: its fetch address and, when Op is
+// not OpNone, one data access. This mirrors what a Pin-based functional
+// front end (the paper uses CMP$im on Pin) feeds a trace-driven cache
+// simulator.
+type Instr struct {
+	PC   uint64
+	Op   Op
+	Addr uint64
+}
+
+// Generator produces an infinite, deterministic instruction stream.
+// Implementations must yield an identical stream after Reset, which the
+// simulator relies on for isolation-vs-mix comparisons and the test
+// suite relies on for reproducibility.
+type Generator interface {
+	// Name identifies the workload (e.g. "mcf").
+	Name() string
+	// Next writes the next instruction into in.
+	Next(in *Instr)
+	// Reset rewinds the stream to its beginning.
+	Reset()
+}
+
+// rng is a splitmix64 pseudo-random number generator: tiny, fast, and
+// with well-understood distribution, so workloads are reproducible
+// across platforms with no dependence on math/rand internals.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// below returns a pseudo-random integer in [0, n). n must be positive.
+func (r *rng) below(n uint64) uint64 { return r.next() % n }
+
+// chance returns true with probability num/den.
+func (r *rng) chance(num, den uint64) bool {
+	if num == 0 {
+		return false
+	}
+	return r.below(den) < num
+}

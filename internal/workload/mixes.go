@@ -1,0 +1,113 @@
+package workload
+
+import "fmt"
+
+// Mix is a multi-programmed workload: one benchmark per core.
+type Mix struct {
+	Name string
+	Apps []string // benchmark tags, one per core
+}
+
+// Benchmarks resolves the mix's tags.
+func (m Mix) Benchmarks() ([]Benchmark, error) {
+	out := make([]Benchmark, len(m.Apps))
+	for i, tag := range m.Apps {
+		b, err := ByName(tag)
+		if err != nil {
+			return nil, fmt.Errorf("mix %s: %w", m.Name, err)
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// Categories renders the mix's category signature, e.g. "CCF+LLCT"
+// ("+" rather than "," so the string stays a single CSV cell).
+func (m Mix) Categories() string {
+	out := ""
+	for i, tag := range m.Apps {
+		if i > 0 {
+			out += "+"
+		}
+		if b, err := ByName(tag); err == nil {
+			out += b.Category.String()
+		} else {
+			out += "?"
+		}
+	}
+	return out
+}
+
+// TableIIMixes returns the paper's 12 showcase two-core mixes.
+func TableIIMixes() []Mix {
+	return []Mix{
+		{Name: "MIX_00", Apps: []string{"bzi", "wrf"}}, // LLCF, LLCT
+		{Name: "MIX_01", Apps: []string{"dea", "pov"}}, // CCF, CCF
+		{Name: "MIX_02", Apps: []string{"cal", "gob"}}, // LLCF, LLCT
+		{Name: "MIX_03", Apps: []string{"h26", "per"}}, // CCF, CCF
+		{Name: "MIX_04", Apps: []string{"gob", "mcf"}}, // LLCT, LLCT
+		{Name: "MIX_05", Apps: []string{"h26", "gob"}}, // CCF, LLCT
+		{Name: "MIX_06", Apps: []string{"hmm", "xal"}}, // LLCF, LLCF
+		{Name: "MIX_07", Apps: []string{"dea", "wrf"}}, // CCF, LLCT
+		{Name: "MIX_08", Apps: []string{"bzi", "sje"}}, // LLCF, CCF
+		{Name: "MIX_09", Apps: []string{"pov", "mcf"}}, // CCF, LLCT
+		{Name: "MIX_10", Apps: []string{"lib", "sje"}}, // LLCT, CCF
+		{Name: "MIX_11", Apps: []string{"ast", "pov"}}, // LLCF, CCF
+	}
+}
+
+// AllPairs returns all C(15,2) = 105 two-benchmark combinations, the
+// full workload population of the paper's s-curves. Names are
+// PAIR_<a>_<b> with tags in alphabetical order.
+func AllPairs() []Mix {
+	bs := All()
+	var out []Mix
+	for i := 0; i < len(bs); i++ {
+		for j := i + 1; j < len(bs); j++ {
+			out = append(out, Mix{
+				Name: fmt.Sprintf("PAIR_%s_%s", bs[i].Name, bs[j].Name),
+				Apps: []string{bs[i].Name, bs[j].Name},
+			})
+		}
+	}
+	return out
+}
+
+// RandomMixes returns n mixes of `cores` benchmarks drawn (with
+// repetition across mixes, without repetition within a mix when
+// possible) from the suite, deterministically from seed. The paper
+// creates 100 random 4-core and 8-core mixes for Figure 11.
+func RandomMixes(n, cores int, seed uint64) ([]Mix, error) {
+	if n <= 0 || cores <= 0 {
+		return nil, fmt.Errorf("workload: RandomMixes(%d, %d) needs positive arguments", n, cores)
+	}
+	bs := All()
+	state := seed
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+		z = (z ^ z>>27) * 0x94d049bb133111eb
+		return z ^ z>>31
+	}
+	out := make([]Mix, n)
+	for i := range out {
+		apps := make([]string, cores)
+		perm := make([]int, len(bs))
+		for k := range perm {
+			perm[k] = k
+		}
+		// Fisher–Yates; when cores > len(bs) the tail repeats benchmarks.
+		for k := 0; k < cores; k++ {
+			if k < len(bs) {
+				j := k + int(next()%uint64(len(bs)-k))
+				perm[k], perm[j] = perm[j], perm[k]
+				apps[k] = bs[perm[k]].Name
+			} else {
+				apps[k] = bs[next()%uint64(len(bs))].Name
+			}
+		}
+		out[i] = Mix{Name: fmt.Sprintf("RAND%dC_%03d", cores, i), Apps: apps}
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+// Package workload defines the benchmark suite of the study: synthetic
+// surrogates for the paper's 15 representative SPEC CPU2006
+// applications (Table I), the 12 showcase workload mixes (Table II),
+// the full set of 105 two-application combinations, and the random
+// 4-core/8-core mixes of the scaling study (Figure 11).
+//
+// The SPEC traces themselves are proprietary; each surrogate is a
+// deterministic trace.Profile whose component mixture was derived from
+// the paper's per-level MPKI (see DESIGN.md §2). What matters for the
+// TLA study is preserved: which cache level each application's working
+// set fits in (its CCF/LLCF/LLCT category) and roughly how hard it
+// drives each level.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"tlacache/internal/trace"
+)
+
+// Category classifies an application by where its working set fits,
+// following the paper's taxonomy.
+type Category uint8
+
+const (
+	// CCF (core cache fitting): the working set fits in the L1/L2.
+	CCF Category = iota
+	// LLCF (LLC fitting): the working set fits in the LLC but not the L2.
+	LLCF
+	// LLCT (LLC thrashing): the working set exceeds the LLC.
+	LLCT
+)
+
+// String returns the paper's abbreviation.
+func (c Category) String() string {
+	switch c {
+	case CCF:
+		return "CCF"
+	case LLCF:
+		return "LLCF"
+	case LLCT:
+		return "LLCT"
+	default:
+		return fmt.Sprintf("Category(%d)", uint8(c))
+	}
+}
+
+// PaperMPKI holds Table I's misses per kilo-instruction for the real
+// SPEC application, used for calibration reports (cmd/calibrate) and
+// EXPERIMENTS.md paper-vs-measured records.
+type PaperMPKI struct {
+	L1  float64 // combined L1I+L1D, 64KB total
+	L2  float64 // 256KB
+	LLC float64 // 2MB
+}
+
+// Benchmark is one synthetic SPEC CPU2006 surrogate.
+type Benchmark struct {
+	Name     string // three-letter tag used in mixes ("mcf")
+	FullName string // SPEC name ("429.mcf")
+	Category Category
+	Paper    PaperMPKI
+	Profile  trace.Profile
+}
+
+// NewGenerator builds the benchmark's deterministic instruction stream.
+// Different seeds yield statistically identical but distinct streams
+// (used when the same benchmark appears twice in a mix).
+func (b Benchmark) NewGenerator(seed uint64) (*trace.Synthetic, error) {
+	return trace.NewSynthetic(b.Profile, seed)
+}
+
+// Working-set regions shared by the profile definitions. The mixture
+// algebra behind the weights is documented in DESIGN.md: given Table
+// I's per-level MPKI targets, accesses are split between a hot region
+// (L1-fitting), an L2-fitting region, an LLC-fitting region, and a
+// memory-streaming (or memory-random) region.
+const (
+	hotWS  = 24 << 10  // always L1-resident once warm (real SPEC L1 footprints are this dense)
+	l2WS   = 192 << 10 // misses the L1, fits the 256KB L2
+	llcWS  = 512 << 10 // misses the 256KB L2, comfortably fits the 2MB LLC
+	memWS  = 512 << 20 // streaming region, no reuse inside any budget
+	mcfWS  = 64 << 20  // random region far beyond the LLC
+	line   = 64
+	ccfTxt = 24 << 10 // CCF apps keep a hot instruction footprint
+	stdTxt = 12 << 10
+)
+
+func hot(weight int) trace.Component {
+	return trace.Component{Weight: weight, Pattern: trace.Random, WS: hotWS}
+}
+func l2fit(weight int) trace.Component {
+	return trace.Component{Weight: weight, Pattern: trace.Random, WS: l2WS}
+}
+func llcfit(weight int) trace.Component {
+	return trace.Component{Weight: weight, Pattern: trace.Random, WS: llcWS}
+}
+func memStream(weight int, stride int64) trace.Component {
+	return trace.Component{Weight: weight, Pattern: trace.Stream, WS: memWS, Stride: stride}
+}
+func memRand(weight int) trace.Component {
+	return trace.Component{Weight: weight, Pattern: trace.Random, WS: mcfWS}
+}
+
+func profile(name string, code int64, mem, store int, comps ...trace.Component) trace.Profile {
+	return trace.Profile{
+		Name:          name,
+		CodeBytes:     code,
+		BranchEvery:   8,
+		MemPerMille:   mem,
+		StorePerMille: store,
+		Components:    comps,
+	}
+}
+
+// benchmarks lists the 15 surrogates in Table I's order. Component
+// weights are per-ten-thousandths of memory accesses, from the
+// decomposition of the paper's MPKI targets.
+var benchmarks = []Benchmark{
+	{"ast", "473.astar", LLCF, PaperMPKI{29.29, 17.02, 3.16},
+		profile("ast", stdTxt, 400, 300, hot(9210), l2fit(290), llcfit(420), memStream(80, line))},
+	{"bzi", "401.bzip2", LLCF, PaperMPKI{19.48, 17.44, 7.25},
+		profile("bzi", stdTxt, 380, 300, hot(9480), l2fit(10), llcfit(320), memStream(190, line))},
+	{"cal", "454.calculix", LLCF, PaperMPKI{21.19, 14.06, 1.42},
+		profile("cal", stdTxt, 400, 250, hot(9440), l2fit(140), llcfit(380), memStream(40, line))},
+	{"dea", "447.dealII", CCF, PaperMPKI{0.95, 0.22, 0.08},
+		profile("dea", ccfTxt, 350, 300, hot(9969), l2fit(24), llcfit(5), memStream(2, line))},
+	{"gob", "445.gobmk", LLCT, PaperMPKI{10.56, 7.91, 7.70},
+		profile("gob", stdTxt, 350, 300, hot(9686), l2fit(87), llcfit(7), memStream(220, line))},
+	{"h26", "464.h264ref", CCF, PaperMPKI{11.26, 1.57, 0.16},
+		profile("h26", ccfTxt, 380, 300, hot(9661), l2fit(292), llcfit(44), memStream(3, line))},
+	{"hmm", "456.hmmer", LLCF, PaperMPKI{4.67, 2.76, 1.21},
+		profile("hmm", stdTxt, 350, 300, hot(9857), l2fit(55), llcfit(53), memStream(35, line))},
+	{"lib", "462.libquantum", LLCT, PaperMPKI{38.83, 38.83, 38.83},
+		profile("lib", stdTxt, 350, 250, hot(5563), memStream(4437, 16))},
+	{"mcf", "429.mcf", LLCT, PaperMPKI{21.51, 20.43, 20.30},
+		profile("mcf", stdTxt, 350, 250, hot(9383), l2fit(20), memRand(597))},
+	{"per", "400.perlbench", CCF, PaperMPKI{0.42, 0.20, 0.11},
+		profile("per", ccfTxt, 350, 300, hot(9987), l2fit(7), llcfit(3), memStream(3, line))},
+	{"pov", "453.povray", CCF, PaperMPKI{15.08, 0.18, 0.03},
+		profile("pov", ccfTxt, 380, 300, hot(9534), l2fit(460), llcfit(5), memStream(1, line))},
+	{"sje", "458.sjeng", CCF, PaperMPKI{0.99, 0.37, 0.32},
+		profile("sje", ccfTxt, 350, 300, hot(9968), l2fit(21), llcfit(2), memStream(9, line))},
+	{"sph", "482.sphinx3", LLCT, PaperMPKI{19.03, 16.20, 14.00},
+		profile("sph", stdTxt, 360, 250, hot(9455), l2fit(80), llcfit(76), memStream(389, line))},
+	{"wrf", "481.wrf", LLCT, PaperMPKI{16.50, 15.18, 14.67},
+		profile("wrf", stdTxt, 360, 250, hot(9534), l2fit(41), llcfit(18), memStream(407, line))},
+	{"xal", "483.xalancbmk", LLCF, PaperMPKI{27.80, 3.38, 2.30},
+		profile("xal", stdTxt, 400, 300, hot(9197), l2fit(713), llcfit(32), memStream(58, line))},
+}
+
+// All returns the 15 surrogate benchmarks, alphabetically by tag.
+func All() []Benchmark {
+	out := append([]Benchmark(nil), benchmarks...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName returns the benchmark with the given three-letter tag.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range benchmarks {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// ByCategory returns the benchmarks of one category.
+func ByCategory(c Category) []Benchmark {
+	var out []Benchmark
+	for _, b := range All() {
+		if b.Category == c {
+			out = append(out, b)
+		}
+	}
+	return out
+}

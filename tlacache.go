@@ -1,0 +1,258 @@
+// Package tlacache is a trace-driven CMP cache-hierarchy simulator that
+// reproduces "Achieving Non-Inclusive Cache Performance with Inclusive
+// Caches: Temporal Locality Aware (TLA) Cache Management Policies"
+// (Jaleel, Borch, Bhandaru, Steely, Emer — MICRO 2010).
+//
+// The package is a facade over the full simulator: it builds the
+// paper's baseline machine (per-core L1I/L1D/L2, shared LLC, stream
+// prefetcher, out-of-order core model), selects an LLC management
+// policy — the inclusive baseline, the paper's three Temporal Locality
+// Aware policies (TLH, ECI, QBS), or the non-inclusive/exclusive
+// hierarchies they are compared against — and runs multi-programmed
+// mixes of the 15 synthetic SPEC CPU2006 surrogate workloads.
+//
+// Quickstart:
+//
+//	m, err := tlacache.NewMachine(2, tlacache.WithPolicy(tlacache.PolicyQBS))
+//	if err != nil { ... }
+//	res, err := m.RunMix("sje", "lib")
+//	fmt.Printf("throughput %.3f, inclusion victims %d\n",
+//	    res.Throughput, res.InclusionVictims)
+//
+// The full experiment harness behind the paper's figures lives in
+// cmd/experiments; lower-level control (custom geometries, custom
+// workload profiles, invariant checks) is available to code inside this
+// module via the internal packages.
+package tlacache
+
+import (
+	"fmt"
+
+	"tlacache/internal/cli"
+	"tlacache/internal/sim"
+	"tlacache/internal/workload"
+)
+
+// Policy selects how the shared last-level cache is managed.
+type Policy string
+
+// The available LLC management policies.
+const (
+	// PolicyBaseline is the unmanaged inclusive LLC (NRU replacement).
+	PolicyBaseline Policy = "baseline"
+	// PolicyTLH sends temporal locality hints from both L1 caches on
+	// every hit (the paper's TLH-L1 limit study).
+	PolicyTLH Policy = "tlh"
+	// PolicyTLHL2 sends hints from the L2 instead (TLH-L2).
+	PolicyTLHL2 Policy = "tlh-l2"
+	// PolicyECI performs Early Core Invalidation.
+	PolicyECI Policy = "eci"
+	// PolicyQBS performs Query Based Selection probing every core
+	// cache (the paper's QBS-L1-L2, its best policy).
+	PolicyQBS Policy = "qbs"
+	// PolicyQBSL1 restricts QBS queries to the L1 caches (QBS-L1).
+	PolicyQBSL1 Policy = "qbs-l1"
+	// PolicyQBSModified is the paper's footnote 6 QBS variant: saved
+	// lines stay protected in the LLC but are invalidated from the core
+	// caches (it performs like plain QBS, proving the benefit is
+	// avoided memory latency).
+	PolicyQBSModified Policy = "qbs-modified"
+	// PolicyNonInclusive drops inclusion (no back-invalidates).
+	PolicyNonInclusive Policy = "non-inclusive"
+	// PolicyExclusive runs an exclusive hierarchy.
+	PolicyExclusive Policy = "exclusive"
+)
+
+// Policies lists every valid Policy value.
+func Policies() []Policy {
+	out := make([]Policy, 0, len(cli.PolicyNames()))
+	for _, n := range cli.PolicyNames() {
+		out = append(out, Policy(n))
+	}
+	return out
+}
+
+// Option customises a Machine.
+type Option func(*sim.Config) error
+
+// WithPolicy selects the LLC management policy (default PolicyBaseline).
+func WithPolicy(p Policy) Option {
+	return func(c *sim.Config) error {
+		if err := cli.ApplyPolicy(&c.Hierarchy, string(p)); err != nil {
+			return fmt.Errorf("tlacache: %w", err)
+		}
+		return nil
+	}
+}
+
+// WithLLCSize overrides the shared LLC capacity in bytes (default 1MB
+// per core, the paper's 1:4 ratio).
+func WithLLCSize(bytes int64) Option {
+	return func(c *sim.Config) error {
+		if bytes <= 0 {
+			return fmt.Errorf("tlacache: LLC size %d must be positive", bytes)
+		}
+		c.Hierarchy.LLCSize = bytes
+		return nil
+	}
+}
+
+// WithBudget sets the measured and warmup instruction counts per core.
+func WithBudget(instructions, warmup uint64) Option {
+	return func(c *sim.Config) error {
+		if instructions == 0 {
+			return fmt.Errorf("tlacache: zero instruction budget")
+		}
+		c.Instructions, c.Warmup = instructions, warmup
+		return nil
+	}
+}
+
+// WithPrefetch enables or disables the stream prefetcher (default on,
+// as in the paper's performance studies).
+func WithPrefetch(on bool) Option {
+	return func(c *sim.Config) error {
+		c.Hierarchy.EnablePrefetch = on
+		return nil
+	}
+}
+
+// WithQBSQueryLimit bounds QBS queries per LLC miss (0 = the LLC
+// associativity).
+func WithQBSQueryLimit(n int) Option {
+	return func(c *sim.Config) error {
+		if n < 0 {
+			return fmt.Errorf("tlacache: negative query limit %d", n)
+		}
+		c.Hierarchy.QBSMaxQueries = n
+		return nil
+	}
+}
+
+// WithBankedLLC enables the banked-LLC contention model with the given
+// bank count (the paper assumes one bank per core). Zero disables
+// banking (the default, matching the paper's fixed-average-latency
+// interconnect model).
+func WithBankedLLC(banks int) Option {
+	return func(c *sim.Config) error {
+		if banks < 0 {
+			return fmt.Errorf("tlacache: negative bank count %d", banks)
+		}
+		c.Hierarchy.LLCBanks = banks
+		return nil
+	}
+}
+
+// WithSeed re-seeds the synthetic workload streams.
+func WithSeed(seed uint64) Option {
+	return func(c *sim.Config) error {
+		c.Seed = seed
+		return nil
+	}
+}
+
+// Machine is a configured simulated CMP ready to run workload mixes.
+type Machine struct {
+	cfg sim.Config
+}
+
+// NewMachine builds the paper's baseline machine with the given number
+// of cores (L1I/L1D 32KB 4-way, L2 256KB 8-way, shared 16-way LLC of
+// 1MB per core, NRU LLC replacement, stream prefetcher) and applies the
+// options.
+func NewMachine(cores int, opts ...Option) (*Machine, error) {
+	cfg := sim.DefaultConfig(cores)
+	cfg.Hierarchy.EnablePrefetch = true
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Machine{cfg: cfg}, nil
+}
+
+// AppResult summarises one application's measurement window.
+type AppResult struct {
+	Benchmark        string
+	IPC              float64
+	L1MPKI           float64 // L1I+L1D combined, Table I convention
+	L2MPKI           float64
+	LLCMPKI          float64
+	InclusionVictims uint64
+}
+
+// MixResult summarises a mix run.
+type MixResult struct {
+	Apps             []AppResult
+	Throughput       float64 // sum of per-app IPCs
+	LLCMisses        uint64  // windowed demand LLC misses
+	InclusionVictims uint64  // windowed inclusion victims
+	// Message traffic introduced by the policies, for bandwidth
+	// comparisons (hints, early invalidations, queries).
+	TLHSent    uint64
+	ECISent    uint64
+	QBSQueries uint64
+}
+
+// Benchmarks returns the tags of the available synthetic SPEC CPU2006
+// surrogates ("ast", "bzi", … "xal").
+func Benchmarks() []string {
+	var out []string
+	for _, b := range workload.All() {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+// RunMix runs one benchmark per core and returns the mix summary. Tags
+// must name benchmarks from Benchmarks(); the count must equal the
+// machine's core count.
+func (m *Machine) RunMix(apps ...string) (*MixResult, error) {
+	res, err := sim.RunMix(m.cfg, workload.Mix{Name: "mix", Apps: apps})
+	if err != nil {
+		return nil, err
+	}
+	out := &MixResult{
+		Throughput:       res.Throughput,
+		LLCMisses:        res.LLCMisses,
+		InclusionVictims: res.InclusionVictims,
+		TLHSent:          res.Traffic.TLHSent,
+		ECISent:          res.Traffic.ECISent,
+		QBSQueries:       res.Traffic.QBSQueries,
+	}
+	for _, a := range res.Apps {
+		out.Apps = append(out.Apps, AppResult{
+			Benchmark:        a.Benchmark,
+			IPC:              a.IPC,
+			L1MPKI:           a.L1MPKI,
+			L2MPKI:           a.L2MPKI,
+			LLCMPKI:          a.LLCMPKI,
+			InclusionVictims: a.InclusionVictims,
+		})
+	}
+	return out, nil
+}
+
+// RunBenchmark runs a single benchmark in isolation on a one-core
+// version of the machine (the Table I methodology).
+func (m *Machine) RunBenchmark(app string) (*AppResult, error) {
+	b, err := workload.ByName(app)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.RunIsolation(m.cfg, b)
+	if err != nil {
+		return nil, err
+	}
+	return &AppResult{
+		Benchmark:        res.Benchmark,
+		IPC:              res.IPC,
+		L1MPKI:           res.L1MPKI,
+		L2MPKI:           res.L2MPKI,
+		LLCMPKI:          res.LLCMPKI,
+		InclusionVictims: res.InclusionVictims,
+	}, nil
+}

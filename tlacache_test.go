@@ -1,0 +1,183 @@
+package tlacache
+
+import "testing"
+
+func fast(opts ...Option) []Option {
+	return append([]Option{WithBudget(20_000, 40_000)}, opts...)
+}
+
+func TestNewMachineDefaults(t *testing.T) {
+	m, err := NewMachine(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.cfg.Hierarchy.Cores != 2 || m.cfg.Hierarchy.LLCSize != 2<<20 {
+		t.Fatalf("default machine config wrong: %+v", m.cfg.Hierarchy)
+	}
+	if !m.cfg.Hierarchy.EnablePrefetch {
+		t.Fatal("prefetcher not enabled by default")
+	}
+}
+
+func TestOptionErrors(t *testing.T) {
+	cases := []Option{
+		WithPolicy("nope"),
+		WithLLCSize(0),
+		WithBudget(0, 0),
+		WithQBSQueryLimit(-1),
+	}
+	for i, opt := range cases {
+		if _, err := NewMachine(2, opt); err == nil {
+			t.Errorf("option %d accepted invalid value", i)
+		}
+	}
+	if _, err := NewMachine(0); err == nil {
+		t.Error("zero cores accepted")
+	}
+}
+
+func TestPoliciesAllConstructible(t *testing.T) {
+	for _, p := range Policies() {
+		if _, err := NewMachine(2, WithPolicy(p)); err != nil {
+			t.Errorf("policy %s: %v", p, err)
+		}
+	}
+}
+
+func TestBenchmarksList(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 15 {
+		t.Fatalf("got %d benchmarks", len(bs))
+	}
+	found := map[string]bool{}
+	for _, b := range bs {
+		found[b] = true
+	}
+	for _, want := range []string{"mcf", "lib", "sje", "dea"} {
+		if !found[want] {
+			t.Errorf("missing benchmark %s", want)
+		}
+	}
+}
+
+func TestRunMix(t *testing.T) {
+	m, err := NewMachine(2, fast()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunMix("sje", "lib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Apps) != 2 || res.Throughput <= 0 {
+		t.Fatalf("result malformed: %+v", res)
+	}
+	if res.Apps[0].Benchmark != "sje" || res.Apps[1].Benchmark != "lib" {
+		t.Fatalf("apps misordered: %+v", res.Apps)
+	}
+	if _, err := m.RunMix("sje"); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := m.RunMix("sje", "nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunBenchmark(t *testing.T) {
+	m, err := NewMachine(2, fast(WithPrefetch(false))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunBenchmark("dea")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != "dea" || res.IPC <= 0 {
+		t.Fatalf("isolation result malformed: %+v", res)
+	}
+	if _, err := m.RunBenchmark("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestQBSReducesVictims(t *testing.T) {
+	budget := []Option{WithBudget(300_000, 1_200_000)}
+	base, err := NewMachine(2, budget...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qbs, err := NewMachine(2, append(budget, WithPolicy(PolicyQBS))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := base.RunMix("sje", "lib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qbsRes, err := qbs.RunMix("sje", "lib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseRes.InclusionVictims == 0 {
+		t.Fatal("baseline shows no inclusion victims")
+	}
+	if qbsRes.InclusionVictims >= baseRes.InclusionVictims {
+		t.Fatalf("QBS victims %d not below baseline %d",
+			qbsRes.InclusionVictims, baseRes.InclusionVictims)
+	}
+	if qbsRes.QBSQueries == 0 {
+		t.Fatal("no QBS queries recorded")
+	}
+	if qbsRes.Throughput <= baseRes.Throughput {
+		t.Fatalf("QBS throughput %.3f not above baseline %.3f",
+			qbsRes.Throughput, baseRes.Throughput)
+	}
+}
+
+func TestBankedLLCOption(t *testing.T) {
+	if _, err := NewMachine(2, WithBankedLLC(-1)); err == nil {
+		t.Error("negative bank count accepted")
+	}
+	flat, err := NewMachine(2, fast()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banked, err := NewMachine(2, fast(WithBankedLLC(2))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := flat.RunMix("mcf", "lib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := banked.RunMix("mcf", "lib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bank contention can only slow things down.
+	if br.Throughput > fr.Throughput {
+		t.Fatalf("banked throughput %.3f above unbanked %.3f", br.Throughput, fr.Throughput)
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	a, err := NewMachine(2, fast(WithSeed(1))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMachine(2, fast(WithSeed(2))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := a.RunMix("mcf", "ast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.RunMix("mcf", "ast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Throughput == rb.Throughput && ra.LLCMisses == rb.LLCMisses {
+		t.Error("different seeds produced identical results")
+	}
+}
