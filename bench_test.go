@@ -8,6 +8,8 @@ package tlacache
 // `go run ./cmd/experiments -run all -pairs`.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"tlacache/internal/experiments"
@@ -100,6 +102,35 @@ func BenchmarkSnoopFilter(b *testing.B) { runArtifact(b, "snoopfilter") }
 
 // BenchmarkDirectory regenerates the presence-directory ablation.
 func BenchmarkDirectory(b *testing.B) { runArtifact(b, "directory") }
+
+// BenchmarkRunnerParallel measures one figure regeneration (figure8:
+// 12 mixes x 7 specs = 84 independent simulations) at one worker
+// versus one worker per CPU — the speedup of the internal/runner
+// job-execution engine on real experiment sweeps.
+func BenchmarkRunnerParallel(b *testing.B) {
+	run, err := experiments.ByName("figure8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := benchOptions()
+			opts.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tables, err := run(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(tables) == 0 {
+					b.Fatal("no tables produced")
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkSimulatorThroughput measures raw simulation speed
 // (instructions per second) on the baseline machine, the number that

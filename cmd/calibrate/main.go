@@ -6,17 +6,25 @@
 //
 // Usage:
 //
-//	calibrate [-n instructions] [-w warmup] [-bench name]
+//	calibrate [-n instructions] [-w warmup] [-workers 8] [-bench name]
+//
+// The isolation runs are independent, so they fan out over -workers
+// parallel workers (default: one per CPU); rows print in the canonical
+// benchmark order regardless of completion order.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 
 	"tlacache/internal/hierarchy"
+	"tlacache/internal/runner"
 	"tlacache/internal/sim"
 	"tlacache/internal/workload"
 )
@@ -28,6 +36,7 @@ func main() {
 	w := flag.Uint64("w", 4_000_000, "warmup instructions per benchmark")
 	bench := flag.String("bench", "", "single benchmark tag (default: all)")
 	mode := flag.String("inclusion", "inclusive", "inclusive | non-inclusive | exclusive")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU)")
 	flag.Parse()
 
 	cfg := sim.DefaultConfig(1)
@@ -54,13 +63,31 @@ func main() {
 		bs = []workload.Benchmark{b}
 	}
 
+	jobs := make([]runner.Job[sim.AppResult], len(bs))
+	for i, b := range bs {
+		b := b
+		jobs[i] = runner.Job[sim.AppResult]{
+			Name: "calibrate/" + b.Name,
+			Work: cfg.Warmup + cfg.Instructions,
+			Run: func(context.Context) (sim.AppResult, error) {
+				return sim.RunIsolation(cfg, b)
+			},
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	results, err := runner.Run(ctx, runner.Config{Workers: *workers}, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := runner.FirstError(results); err != nil {
+		log.Fatal(err)
+	}
+
 	tw := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
 	fmt.Fprintln(tw, "bench\tcat\tL1 MPKI\t(paper)\tL2 MPKI\t(paper)\tLLC MPKI\t(paper)\tIPC")
-	for _, b := range bs {
-		res, err := sim.RunIsolation(cfg, b)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, b := range bs {
+		res := results[i].Value
 		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
 			b.Name, b.Category, res.L1MPKI, b.Paper.L1, res.L2MPKI, b.Paper.L2,
 			res.LLCMPKI, b.Paper.LLC, res.IPC)

@@ -3,23 +3,33 @@
 // Usage:
 //
 //	experiments -list
-//	experiments -run figure7 [-pairs] [-n 800000] [-w 1500000] [-v]
+//	experiments -run figure7 [-pairs] [-n 800000] [-w 1500000] [-workers 8] [-v]
 //	experiments -run all -out results/
 //
 // Each experiment prints plain-text tables; -out additionally writes
-// one CSV per table into the given directory.
+// one CSV per table plus a <name>-manifest.json run manifest (per-job
+// wall time and simulated-instruction throughput) into the given
+// directory. Simulations fan out over -workers parallel workers
+// (default: one per CPU) with results identical to serial execution;
+// Ctrl-C cancels cleanly. With -run all, a failing experiment is
+// reported and the rest still run; the exit code is non-zero if any
+// failed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"tlacache/internal/experiments"
+	"tlacache/internal/runner"
 )
 
 func main() {
@@ -31,8 +41,9 @@ func main() {
 	n := flag.Uint64("n", 0, "measured instructions per core (0 = default)")
 	w := flag.Uint64("w", 0, "warmup instructions per core (0 = default)")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU)")
 	verbose := flag.Bool("v", false, "print per-run progress")
-	out := flag.String("out", "", "directory for CSV output (optional)")
+	out := flag.String("out", "", "directory for CSV + run-manifest output (optional)")
 	jsonOut := flag.Bool("json", false, "emit tables as JSON instead of text")
 	flag.Parse()
 
@@ -47,9 +58,14 @@ func main() {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := experiments.DefaultOptions()
 	opts.AllPairs = *pairs
 	opts.Seed = *seed
+	opts.Workers = *workers
+	opts.Context = ctx
 	if *n != 0 {
 		opts.Instructions = *n
 	}
@@ -57,7 +73,7 @@ func main() {
 		opts.Warmup = *w
 	}
 	if *verbose {
-		opts.Progress = os.Stderr
+		opts.Progress = runner.NewReporter(os.Stderr)
 	}
 
 	var names []string
@@ -68,32 +84,83 @@ func main() {
 	} else {
 		names = strings.Split(*run, ",")
 	}
-
-	for _, name := range names {
-		runner, err := experiments.ByName(strings.TrimSpace(name))
+	// Resolve every runner up front so a typo fails before hours of
+	// simulation, not between experiments.
+	runners := make([]experiments.Runner, len(names))
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+		r, err := experiments.ByName(names[i])
 		if err != nil {
 			log.Fatal(err)
 		}
-		start := time.Now()
-		tables, err := runner(opts)
-		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+		runners[i] = r
+	}
+
+	var failed []string
+	for i, name := range names {
+		if ctx.Err() != nil {
+			log.Printf("interrupted; skipping remaining experiments")
+			failed = append(failed, names[i:]...)
+			break
 		}
-		for i := range tables {
-			if *jsonOut {
-				if err := tables[i].WriteJSON(os.Stdout); err != nil {
-					log.Fatal(err)
-				}
-			} else if err := tables[i].Render(os.Stdout); err != nil {
-				log.Fatal(err)
+		if err := runOne(name, runners[i], opts, *out, *jsonOut); err != nil {
+			log.Printf("%s: %v", name, err)
+			failed = append(failed, name)
+		}
+	}
+	if len(failed) > 0 {
+		log.Fatalf("%d of %d experiments failed: %s",
+			len(failed), len(names), strings.Join(failed, ", "))
+	}
+}
+
+// runOne regenerates a single experiment: tables to stdout, CSVs and
+// the run manifest under outDir when set.
+func runOne(name string, run experiments.Runner, opts experiments.Options, outDir string, jsonOut bool) error {
+	col := runner.NewCollector()
+	opts.Stats = col
+	start := time.Now()
+	tables, err := run(opts)
+	wall := time.Since(start)
+	if outDir != "" {
+		// The manifest is written even for a failed experiment: the
+		// per-job errors in it are the post-mortem.
+		m := col.Manifest(name, runner.Workers(opts.Workers), wall)
+		m.Seed = opts.Seed
+		m.Options = manifestOptions(opts)
+		if merr := runner.WriteManifest(outDir, m); merr != nil {
+			return merr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	for i := range tables {
+		if jsonOut {
+			if err := tables[i].WriteJSON(os.Stdout); err != nil {
+				return err
 			}
-			if *out != "" {
-				if err := writeCSV(*out, &tables[i]); err != nil {
-					log.Fatal(err)
-				}
+		} else if err := tables[i].Render(os.Stdout); err != nil {
+			return err
+		}
+		if outDir != "" {
+			if err := writeCSV(outDir, &tables[i]); err != nil {
+				return err
 			}
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, wall.Round(time.Millisecond))
+	return nil
+}
+
+// manifestOptions is the JSON echo of the experiment options in the
+// run manifest (only the fields that shape the simulated population).
+func manifestOptions(o experiments.Options) map[string]interface{} {
+	return map[string]interface{}{
+		"instructions": o.Instructions,
+		"warmup":       o.Warmup,
+		"all_pairs":    o.AllPairs,
+		"seed":         o.Seed,
 	}
 }
 

@@ -8,6 +8,7 @@
 //	tlasim -mix sje,lib -policy qbs
 //	tlasim -mix MIX_10 -policy baseline -llc 1MB
 //	tlasim -mix dea,mcf,sje,lib -policy non-inclusive
+//	tlasim -mix sje,lib -policy baseline,eci,qbs,non-inclusive
 //	tlasim -trace a.tlat,b.tlat -policy qbs      # replay recorded traces
 //	tlasim -profile mine.json,mine.json          # custom JSON workloads
 //
@@ -15,18 +16,26 @@
 // comma-separated benchmark list (one per core). -trace replays binary
 // traces captured with cmd/tracegen; -profile loads trace.Profile JSON
 // definitions. The three sources are mutually exclusive.
+//
+// -policy accepts a comma-separated list; multiple policies run the
+// same workload under each (fanned out over -workers parallel workers)
+// and append a comparison summary.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 
 	"tlacache/internal/cli"
+	"tlacache/internal/runner"
 	"tlacache/internal/sim"
 	"tlacache/internal/trace"
 	"tlacache/internal/workload"
@@ -38,12 +47,14 @@ func main() {
 	mixArg := flag.String("mix", "", "Table II mix name or comma-separated benchmark tags")
 	traceArg := flag.String("trace", "", "comma-separated TLAT1 trace files, one per core")
 	profileArg := flag.String("profile", "", "comma-separated profile JSON files, one per core")
-	policy := flag.String("policy", "baseline", strings.Join(cli.PolicyNames(), " | "))
+	policy := flag.String("policy", "baseline",
+		"policy, or comma-separated policies to compare ("+strings.Join(cli.PolicyNames(), " | ")+")")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON")
 	llc := flag.String("llc", "", "LLC size override, e.g. 1MB, 4MB (default 1MB per core)")
 	n := flag.Uint64("n", 1_000_000, "measured instructions per core")
 	w := flag.Uint64("w", 1_500_000, "warmup instructions per core")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	workers := flag.Int("workers", 0, "parallel workers when comparing policies (0 = one per CPU)")
 	noPrefetch := flag.Bool("no-prefetch", false, "disable the stream prefetcher")
 	listBench := flag.Bool("list", false, "list benchmarks and mixes, then exit")
 	flag.Parse()
@@ -73,110 +84,206 @@ func main() {
 		*mixArg = "sje,lib"
 	}
 
-	// Determine the core count from the chosen workload source.
+	// Determine the core count from the chosen workload source. Stream
+	// sources are loaded as factories: each policy job gets its own
+	// generator instances, so parallel comparison runs never share
+	// mutable stream state.
 	var mix workload.Mix
-	var streams []trace.Generator
+	var makeStreams func() ([]trace.Generator, error)
+	var cores int
 	var err error
 	switch {
 	case *traceArg != "":
-		if streams, err = loadTraces(strings.Split(*traceArg, ",")); err != nil {
+		if makeStreams, cores, err = traceFactory(strings.Split(*traceArg, ",")); err != nil {
 			log.Fatal(err)
 		}
 	case *profileArg != "":
-		if streams, err = loadProfiles(strings.Split(*profileArg, ","), *seed); err != nil {
+		if makeStreams, cores, err = profileFactory(strings.Split(*profileArg, ","), *seed); err != nil {
 			log.Fatal(err)
 		}
 	default:
 		if mix, err = cli.ResolveMix(*mixArg); err != nil {
 			log.Fatal(err)
 		}
+		cores = len(mix.Apps)
 	}
 
-	cores := len(mix.Apps)
-	if streams != nil {
-		cores = len(streams)
+	policies := strings.Split(*policy, ",")
+	for i := range policies {
+		policies[i] = strings.TrimSpace(policies[i])
 	}
-	cfg := sim.DefaultConfig(cores)
-	cfg.Instructions = *n
-	cfg.Warmup = *w
-	cfg.Seed = *seed
-	cfg.Hierarchy.EnablePrefetch = !*noPrefetch
-	if err := cli.ApplyPolicy(&cfg.Hierarchy, *policy); err != nil {
-		log.Fatal(err)
-	}
+
+	baseCfg := sim.DefaultConfig(cores)
+	baseCfg.Instructions = *n
+	baseCfg.Warmup = *w
+	baseCfg.Seed = *seed
+	baseCfg.Hierarchy.EnablePrefetch = !*noPrefetch
 	if *llc != "" {
 		size, err := cli.ParseSize(*llc)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cfg.Hierarchy.LLCSize = size
+		baseCfg.Hierarchy.LLCSize = size
 	}
 
-	var res sim.MixResult
-	if streams != nil {
-		res, err = sim.RunGenerators(cfg, streams)
-	} else {
-		res, err = sim.RunMix(cfg, mix)
+	// One job per policy; a single policy degenerates to one job.
+	type outcome struct {
+		Policy string        `json:"policy"`
+		Config sim.Config    `json:"-"`
+		Result sim.MixResult `json:"result"`
 	}
+	jobs := make([]runner.Job[outcome], len(policies))
+	for i, p := range policies {
+		p := p
+		cfg := baseCfg
+		if err := cli.ApplyPolicy(&cfg.Hierarchy, p); err != nil {
+			log.Fatal(err)
+		}
+		jobs[i] = runner.Job[outcome]{
+			Name: "policy/" + p,
+			Work: uint64(cores) * (cfg.Warmup + cfg.Instructions),
+			Run: func(context.Context) (outcome, error) {
+				out := outcome{Policy: p, Config: cfg}
+				var err error
+				if makeStreams != nil {
+					var streams []trace.Generator
+					if streams, err = makeStreams(); err != nil {
+						return out, err
+					}
+					out.Result, err = sim.RunGenerators(cfg, streams)
+				} else {
+					out.Result, err = sim.RunMix(cfg, mix)
+				}
+				if err != nil {
+					return out, fmt.Errorf("policy %s: %w", p, err)
+				}
+				return out, nil
+			},
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var rep *runner.Reporter
+	if len(policies) > 1 {
+		rep = runner.NewReporter(os.Stderr)
+	}
+	results, err := runner.Run(ctx, runner.Config{Workers: *workers, Reporter: rep}, jobs)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if err := runner.FirstError(results); err != nil {
+		log.Fatal(err)
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(res); err != nil {
+		if len(results) == 1 {
+			if err := enc.Encode(results[0].Value.Result); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		outs := make([]outcome, len(results))
+		for i, r := range results {
+			outs[i] = r.Value
+		}
+		if err := enc.Encode(outs); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
-	report(cfg, res)
+
+	for i, r := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		report(r.Value.Config, r.Value.Result)
+	}
+	if len(results) > 1 {
+		fmt.Println()
+		summary := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+		fmt.Fprintln(summary, "policy\tthroughput\tvs first\tLLC misses\tincl.victims")
+		base := results[0].Value.Result.Throughput
+		for _, r := range results {
+			res := r.Value.Result
+			rel := 0.0
+			if base > 0 {
+				rel = res.Throughput / base
+			}
+			fmt.Fprintf(summary, "%s\t%.3f\t%+.1f%%\t%d\t%d\n",
+				r.Value.Policy, res.Throughput, 100*(rel-1), res.LLCMisses, res.InclusionVictims)
+		}
+		summary.Flush()
+	}
 }
 
-// loadTraces opens TLAT1 files as looping replay generators.
-func loadTraces(paths []string) ([]trace.Generator, error) {
-	out := make([]trace.Generator, len(paths))
+// traceFactory loads TLAT1 files once and returns a factory minting
+// fresh looping replay generators over the shared immutable records.
+func traceFactory(paths []string) (func() ([]trace.Generator, error), int, error) {
+	records := make([][]trace.Instr, len(paths))
+	names := make([]string, len(paths))
 	for i, path := range paths {
 		path = strings.TrimSpace(path)
+		names[i] = path
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		r, err := trace.NewReader(f)
 		if err != nil {
 			f.Close()
-			return nil, fmt.Errorf("%s: %w", path, err)
+			return nil, 0, fmt.Errorf("%s: %w", path, err)
 		}
 		recs, err := r.ReadAll()
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
+			return nil, 0, fmt.Errorf("%s: %w", path, err)
 		}
-		if out[i], err = trace.NewReplay(path, recs); err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
+		records[i] = recs
 	}
-	return out, nil
+	return func() ([]trace.Generator, error) {
+		out := make([]trace.Generator, len(records))
+		for i := range records {
+			var err error
+			if out[i], err = trace.NewReplay(names[i], records[i]); err != nil {
+				return nil, fmt.Errorf("%s: %w", names[i], err)
+			}
+		}
+		return out, nil
+	}, len(paths), nil
 }
 
-// loadProfiles builds synthetic generators from JSON profile files.
-func loadProfiles(paths []string, seed uint64) ([]trace.Generator, error) {
-	out := make([]trace.Generator, len(paths))
+// profileFactory loads profile JSON files once and returns a factory
+// minting fresh synthetic generators with the same seeds.
+func profileFactory(paths []string, seed uint64) (func() ([]trace.Generator, error), int, error) {
+	profiles := make([]trace.Profile, len(paths))
+	names := make([]string, len(paths))
 	for i, path := range paths {
 		path = strings.TrimSpace(path)
+		names[i] = path
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		p, err := trace.LoadProfile(f)
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
+			return nil, 0, fmt.Errorf("%s: %w", path, err)
 		}
-		if out[i], err = trace.NewSynthetic(p, seed+uint64(i)*0x9e37); err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
+		profiles[i] = p
 	}
-	return out, nil
+	return func() ([]trace.Generator, error) {
+		out := make([]trace.Generator, len(profiles))
+		for i := range profiles {
+			var err error
+			if out[i], err = trace.NewSynthetic(profiles[i], seed+uint64(i)*0x9e37); err != nil {
+				return nil, fmt.Errorf("%s: %w", names[i], err)
+			}
+		}
+		return out, nil
+	}, len(paths), nil
 }
 
 func report(cfg sim.Config, res sim.MixResult) {

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -19,11 +20,12 @@ import (
 	"text/tabwriter"
 
 	"tlacache/internal/hierarchy"
+	"tlacache/internal/runner"
 	"tlacache/internal/sim"
 	"tlacache/internal/workload"
 )
 
-// Options control an experiment run's scale.
+// Options control an experiment run's scale and execution.
 type Options struct {
 	// Instructions and Warmup are per-core budgets (see sim.Config).
 	Instructions uint64
@@ -33,8 +35,19 @@ type Options struct {
 	AllPairs bool
 	// Seed diversifies the synthetic streams.
 	Seed uint64
-	// Progress, when non-nil, receives one line per completed run.
-	Progress io.Writer
+	// Progress, when non-nil, receives one synchronized line per
+	// completed run (runner.NewReporter wraps any io.Writer).
+	Progress *runner.Reporter
+	// Workers bounds the parallel simulation workers per sweep; zero
+	// selects one per CPU. Results are identical at any width: jobs
+	// are independent and merged in submission order.
+	Workers int
+	// Context, when non-nil, cancels an in-flight experiment (e.g. on
+	// Ctrl-C); nil means context.Background().
+	Context context.Context
+	// Stats, when non-nil, accumulates per-job wall time and simulated
+	// instruction throughput for the run manifest.
+	Stats *runner.Collector
 }
 
 // DefaultOptions balance fidelity and runtime: the warmup is long
@@ -63,9 +76,40 @@ func (o *Options) mixes() []workload.Mix {
 }
 
 func (o *Options) progressf(format string, args ...interface{}) {
-	if o.Progress != nil {
-		fmt.Fprintf(o.Progress, format, args...)
+	o.Progress.Printf(format, args...)
+}
+
+// ctx resolves the run context.
+func (o *Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
 	}
+	return context.Background()
+}
+
+// engine builds the runner configuration shared by every sweep of this
+// experiment: the worker bound, the synchronized progress reporter, and
+// the manifest collector.
+func (o *Options) engine() runner.Config {
+	return runner.Config{Workers: o.Workers, Reporter: o.Progress, Collector: o.Stats}
+}
+
+// runJobs fans independent simulation jobs out over the worker pool and
+// returns their values in submission order, collapsing the first
+// per-job failure into an error.
+func runJobs[T any](o Options, jobs []runner.Job[T]) ([]T, error) {
+	results, err := runner.Run(o.ctx(), o.engine(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	if err := runner.FirstError(results); err != nil {
+		return nil, err
+	}
+	out := make([]T, len(results))
+	for i := range results {
+		out[i] = results[i].Value
+	}
+	return out, nil
 }
 
 // simConfig builds the baseline simulation config for the options.
@@ -138,7 +182,11 @@ type matrix struct {
 	results [][]sim.MixResult // [mix][spec]
 }
 
-// runMatrix runs every (mix, spec) combination on cores-wide machines.
+// runMatrix runs every (mix, spec) combination on cores-wide machines,
+// fanning the fully independent cells out over the worker pool. Cells
+// are submitted row-major and merged back in submission order, so the
+// matrix — and everything rendered from it — is identical at any
+// worker count.
 func runMatrix(o Options, cores int, mixes []workload.Mix, specs []Spec, mutate func(*sim.Config)) (*matrix, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
@@ -148,17 +196,34 @@ func runMatrix(o Options, cores int, mixes []workload.Mix, specs []Spec, mutate 
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	for i, mix := range mixes {
-		m.results[i] = make([]sim.MixResult, len(specs))
-		for j, spec := range specs {
-			res, err := runCell(cfg, spec, mix)
-			if err != nil {
-				return nil, fmt.Errorf("%s under %s: %w", mix.Name, spec.Name, err)
-			}
-			m.results[i][j] = res
-			o.progressf("  %-16s %-14s throughput=%.3f llcMisses=%d victims=%d\n",
-				mix.Name, spec.Name, res.Throughput, res.LLCMisses, res.InclusionVictims)
+	work := uint64(cores) * (cfg.Warmup + cfg.Instructions)
+	jobs := make([]runner.Job[sim.MixResult], 0, len(mixes)*len(specs))
+	for _, mix := range mixes {
+		for _, spec := range specs {
+			mix, spec := mix, spec
+			jobs = append(jobs, runner.Job[sim.MixResult]{
+				Name: mix.Name + "/" + spec.Name,
+				Work: work,
+				Run: func(context.Context) (sim.MixResult, error) {
+					res, err := runCell(cfg, spec, mix)
+					if err != nil {
+						return res, fmt.Errorf("%s under %s: %w", mix.Name, spec.Name, err)
+					}
+					return res, nil
+				},
+				Detail: func(r sim.MixResult) string {
+					return fmt.Sprintf("throughput=%.3f llcMisses=%d victims=%d",
+						r.Throughput, r.LLCMisses, r.InclusionVictims)
+				},
+			})
 		}
+	}
+	cells, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range mixes {
+		m.results[i] = cells[i*len(specs) : (i+1)*len(specs)]
 	}
 	return m, nil
 }

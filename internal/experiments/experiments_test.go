@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"tlacache/internal/hierarchy"
+	"tlacache/internal/runner"
 	"tlacache/internal/workload"
 )
 
@@ -113,12 +114,15 @@ func TestRunMatrixShapeAndNormalisation(t *testing.T) {
 func TestRunMatrixProgressAndErrors(t *testing.T) {
 	o := fastOptions()
 	var buf bytes.Buffer
-	o.Progress = &buf
+	o.Progress = runner.NewReporter(&buf)
 	if _, err := runMatrix(o, 2, twoMixes(), []Spec{baseline()}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "MIX_00") {
 		t.Error("no progress output")
+	}
+	if !strings.Contains(buf.String(), "/2]") {
+		t.Errorf("progress lines lack completed/total counts:\n%s", buf.String())
 	}
 	// A mix with the wrong arity must surface as an error.
 	bad := []workload.Mix{{Name: "BAD", Apps: []string{"dea"}}}

@@ -1,14 +1,41 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"tlacache/internal/hierarchy"
 	"tlacache/internal/metrics"
+	"tlacache/internal/runner"
 	"tlacache/internal/sim"
 	"tlacache/internal/workload"
 )
+
+// isolationJobs builds one runner job per benchmark, each running the
+// benchmark alone on cfg's machine.
+func isolationJobs(cfg sim.Config, label string, bs []workload.Benchmark) []runner.Job[sim.AppResult] {
+	jobs := make([]runner.Job[sim.AppResult], len(bs))
+	for i, b := range bs {
+		b := b
+		jobs[i] = runner.Job[sim.AppResult]{
+			Name: label + "/" + b.Name,
+			Work: cfg.Warmup + cfg.Instructions,
+			Run: func(context.Context) (sim.AppResult, error) {
+				res, err := sim.RunIsolation(cfg, b)
+				if err != nil {
+					return res, fmt.Errorf("%s in isolation: %w", b.Name, err)
+				}
+				return res, nil
+			},
+			Detail: func(r sim.AppResult) string {
+				return fmt.Sprintf("IPC=%.3f L1=%.2f L2=%.2f LLC=%.2f",
+					r.IPC, r.L1MPKI, r.L2MPKI, r.LLCMPKI)
+			},
+		}
+	}
+	return jobs
+}
 
 // geoColumn computes the geometric mean of spec j's normalised
 // throughput over all mixes of m.
@@ -114,12 +141,13 @@ func Table1(o Options) ([]Table, error) {
 			"LLC MPKI", "paper", "IPC"},
 		Notes: []string{"paper columns are Table I of Jaleel et al. (MICRO 2010); surrogates match categories, not exact values"},
 	}
-	for _, b := range workload.All() {
-		res, err := sim.RunIsolation(cfg, b)
-		if err != nil {
-			return nil, err
-		}
-		o.progressf("  table1 %s L1=%.2f L2=%.2f LLC=%.2f\n", b.Name, res.L1MPKI, res.L2MPKI, res.LLCMPKI)
+	bs := workload.All()
+	results, err := runJobs(o, isolationJobs(cfg, "table1", bs))
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range bs {
+		res := results[i]
 		t.Rows = append(t.Rows, []string{
 			b.Name, b.Category.String(),
 			fmt.Sprintf("%.2f", res.L1MPKI), fmt.Sprintf("%.2f", b.Paper.L1),
@@ -541,7 +569,10 @@ func Fairness(o Options) ([]Table, error) {
 		return nil, err
 	}
 	cfg := o.simConfig(2)
-	// Isolation IPCs for the apps in the Table II mixes.
+	// Isolation IPCs for the unique apps of the Table II mixes, run in
+	// parallel alongside nothing else (first-appearance order keeps the
+	// job list deterministic).
+	var unique []workload.Benchmark
 	iso := map[string]float64{}
 	for _, mix := range workload.TableIIMixes() {
 		for _, app := range mix.Apps {
@@ -552,13 +583,16 @@ func Fairness(o Options) ([]Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			r, err := sim.RunIsolation(cfg, b)
-			if err != nil {
-				return nil, err
-			}
-			iso[app] = r.IPC
-			o.progressf("  fairness iso %s IPC=%.3f\n", app, r.IPC)
+			iso[app] = 0
+			unique = append(unique, b)
 		}
+	}
+	isoResults, err := runJobs(o, isolationJobs(cfg, "fairness-iso", unique))
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range unique {
+		iso[b.Name] = isoResults[i].IPC
 	}
 	t := Table{
 		ID:      "fairness",

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"tlacache/internal/runner"
+)
+
+// renderAll renders tables to one byte stream, text and CSV.
+func renderAll(t *testing.T, tables []Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for i := range tables {
+		if err := tables[i].Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := tables[i].WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestParallelDeterminism is the engine's core contract: regenerating a
+// figure with 8 workers produces byte-identical tables and CSVs to the
+// serial run. Figure 6 exercises the full matrix path (12 mixes x 3
+// specs = 36 jobs).
+func TestParallelDeterminism(t *testing.T) {
+	serial := fastOptions()
+	serial.Workers = 1
+	parallel := fastOptions()
+	parallel.Workers = 8
+
+	ts, err := Figure6(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := Figure6(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ts, tp) {
+		t.Fatal("parallel Figure6 tables differ from serial")
+	}
+	if !bytes.Equal(renderAll(t, ts), renderAll(t, tp)) {
+		t.Fatal("parallel Figure6 rendering is not byte-identical to serial")
+	}
+}
+
+// TestParallelDeterminismIsolation covers the isolation-job path
+// (Table1) the same way.
+func TestParallelDeterminismIsolation(t *testing.T) {
+	serial := fastOptions()
+	serial.Workers = 1
+	parallel := fastOptions()
+	parallel.Workers = 8
+
+	ts, err := Table1(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := Table1(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(renderAll(t, ts), renderAll(t, tp)) {
+		t.Fatal("parallel Table1 rendering is not byte-identical to serial")
+	}
+}
+
+// TestMatrixCancellation: a cancelled context aborts a figure promptly
+// with a context error instead of running the whole population.
+func TestMatrixCancellation(t *testing.T) {
+	o := fastOptions()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o.Context = ctx
+	if _, err := Figure6(o); err == nil || !strings.Contains(err.Error(), "cancel") {
+		t.Fatalf("cancelled figure returned %v", err)
+	}
+}
+
+// TestMatrixCollectsStats: the manifest collector sees one stat per
+// (mix, spec) cell with the configured instruction budget.
+func TestMatrixCollectsStats(t *testing.T) {
+	o := fastOptions()
+	o.Stats = runner.NewCollector()
+	mixes := twoMixes()
+	specs := []Spec{baseline(), nonInclusive()}
+	start := time.Now()
+	if _, err := runMatrix(o, 2, mixes, specs, nil); err != nil {
+		t.Fatal(err)
+	}
+	stats := o.Stats.Jobs()
+	if len(stats) != len(mixes)*len(specs) {
+		t.Fatalf("collected %d stats, want %d", len(stats), len(mixes)*len(specs))
+	}
+	wantWork := 2 * (o.Warmup + o.Instructions)
+	for _, s := range stats {
+		if s.Instructions != wantWork {
+			t.Errorf("job %s instructions = %d, want %d", s.Name, s.Instructions, wantWork)
+		}
+		if s.Error != "" {
+			t.Errorf("job %s failed: %s", s.Name, s.Error)
+		}
+		if !strings.Contains(s.Name, "/") {
+			t.Errorf("job name %q lacks mix/spec form", s.Name)
+		}
+	}
+	m := o.Stats.Manifest("test", 2, time.Since(start))
+	if m.JobCount != 4 || m.FailedJobs != 0 || m.TotalInstructions != 4*wantWork {
+		t.Errorf("manifest totals wrong: %+v", m)
+	}
+}

@@ -7,11 +7,13 @@ package experiments
 // single-core result.
 
 import (
+	"context"
 	"fmt"
 
 	"tlacache/internal/hierarchy"
 	"tlacache/internal/metrics"
 	"tlacache/internal/replacement"
+	"tlacache/internal/runner"
 	"tlacache/internal/sim"
 	"tlacache/internal/workload"
 )
@@ -134,28 +136,49 @@ func SingleCore(o Options) ([]Table, error) {
 		Columns: []string{"bench", "category", "baseline IPC", "QBS IPC", "speedup"},
 		Notes:   []string{"paper: global-replacement-style policies gain little single-core;", "the CMP mixes are where inclusion victims bite"},
 	}
+	// Each job runs one benchmark twice — baseline then QBS — so the
+	// per-benchmark speedup stays a single unit of work.
+	type pair struct{ base, qbs sim.AppResult }
+	bs := workload.All()
+	jobs := make([]runner.Job[pair], len(bs))
+	for i, b := range bs {
+		b := b
+		jobs[i] = runner.Job[pair]{
+			Name: "singlecore/" + b.Name,
+			Work: 2 * (o.Warmup + o.Instructions),
+			Run: func(context.Context) (pair, error) {
+				var p pair
+				var err error
+				if p.base, err = sim.RunIsolation(o.simConfig(1), b); err != nil {
+					return p, fmt.Errorf("%s baseline: %w", b.Name, err)
+				}
+				qcfg := o.simConfig(1)
+				qcfg.Hierarchy.TLA = hierarchy.TLAQBS
+				if p.qbs, err = sim.RunIsolation(qcfg, b); err != nil {
+					return p, fmt.Errorf("%s under QBS: %w", b.Name, err)
+				}
+				return p, nil
+			},
+			Detail: func(p pair) string {
+				return fmt.Sprintf("IPC %.3f -> %.3f", p.base.IPC, p.qbs.IPC)
+			},
+		}
+	}
+	results, err := runJobs(o, jobs)
+	if err != nil {
+		return nil, err
+	}
 	var speedups []float64
-	for _, b := range workload.All() {
-		base := o.simConfig(1)
-		res0, err := sim.RunIsolation(base, b)
-		if err != nil {
-			return nil, err
-		}
-		qcfg := o.simConfig(1)
-		qcfg.Hierarchy.TLA = hierarchy.TLAQBS
-		res1, err := sim.RunIsolation(qcfg, b)
-		if err != nil {
-			return nil, err
-		}
+	for i, b := range bs {
+		p := results[i]
 		sp := 0.0
-		if res0.IPC > 0 {
-			sp = res1.IPC / res0.IPC
+		if p.base.IPC > 0 {
+			sp = p.qbs.IPC / p.base.IPC
 		}
 		speedups = append(speedups, sp)
-		o.progressf("  singlecore %s %.3f -> %.3f\n", b.Name, res0.IPC, res1.IPC)
 		t.Rows = append(t.Rows, []string{
 			b.Name, b.Category.String(),
-			fmt.Sprintf("%.3f", res0.IPC), fmt.Sprintf("%.3f", res1.IPC), pct(sp),
+			fmt.Sprintf("%.3f", p.base.IPC), fmt.Sprintf("%.3f", p.qbs.IPC), pct(sp),
 		})
 	}
 	if g, err := metrics.Geomean(speedups); err == nil {

@@ -1,0 +1,98 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Reporter is a goroutine-safe progress sink. Every write is one
+// complete line under a single mutex, so parallel jobs never interleave
+// output mid-line. The zero count state accumulates across multiple Run
+// calls, giving one monotonically increasing completed/total counter
+// per experiment.
+//
+// A nil *Reporter is valid and silently discards everything, so callers
+// never need to guard progress calls.
+type Reporter struct {
+	mu          sync.Mutex
+	w           io.Writer
+	done, total int
+}
+
+// NewReporter wraps w in a synchronized reporter. A nil writer yields a
+// nil reporter (which is safe to use).
+func NewReporter(w io.Writer) *Reporter {
+	if w == nil {
+		return nil
+	}
+	return &Reporter{w: w}
+}
+
+// Printf writes one formatted progress message atomically.
+func (r *Reporter) Printf(format string, args ...interface{}) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fmt.Fprintf(r.w, format, args...)
+}
+
+// Counts returns the completed and total job counts seen so far.
+func (r *Reporter) Counts() (done, total int) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done, r.total
+}
+
+// addTotal registers n more expected jobs.
+func (r *Reporter) addTotal(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total += n
+}
+
+// jobDone prints one job-completion line with a running count, e.g.
+//
+//	[ 3/42] MIX_00/QBS 0.812s 5.54 MI/s throughput=1.023 ...
+func (r *Reporter) jobDone(s JobStat, detail string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.done++
+	status := ""
+	if s.Error != "" {
+		status = " FAILED: " + firstLine(s.Error)
+	} else if detail != "" {
+		status = " " + detail
+	}
+	fmt.Fprintf(r.w, "  [%*d/%d] %-24s %7.3fs %6.2f MI/s%s\n",
+		digits(r.total), r.done, r.total, s.Name, s.WallSeconds, s.IPS/1e6, status)
+}
+
+func digits(n int) int {
+	d := 1
+	for n >= 10 {
+		n /= 10
+		d++
+	}
+	return d
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,173 @@
+// Package runner is the parallel job-execution engine behind every
+// experiment sweep: it fans fully independent simulation jobs out over
+// a bounded worker pool while keeping results byte-identical to serial
+// execution. Jobs carry stable submission indices and results are
+// merged back in submission order, so tables, CSVs, and geomeans do
+// not depend on the worker count or on scheduling.
+//
+// The engine provides the operational guarantees a long sweep needs:
+// context cancellation (Ctrl-C stops dispatching and returns promptly),
+// panic recovery (a crashing simulation becomes a per-job error naming
+// the offending job instead of killing the whole regeneration), a
+// goroutine-safe progress Reporter, and per-job observability — wall
+// time and simulated-instruction throughput — aggregated by a Collector
+// into a JSON run manifest written alongside each experiment's CSVs.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Job is one independent unit of work: typically a single simulation
+// (one mix under one policy variant).
+type Job[T any] struct {
+	// Name identifies the job in progress lines, errors, and the run
+	// manifest, e.g. "MIX_04/QBS".
+	Name string
+	// Work is the job's simulated-instruction budget (warmup plus
+	// measurement, across all cores). It only feeds the
+	// instructions-per-second observability numbers; zero is fine.
+	Work uint64
+	// Run does the work. It must be safe to call concurrently with
+	// other jobs' Run functions — jobs are independent by contract.
+	Run func(ctx context.Context) (T, error)
+	// Detail, when non-nil, renders a short result summary appended to
+	// the job's progress line (only called on success).
+	Detail func(T) string
+}
+
+// Result pairs a job's value with its error and observability stats.
+// Results are returned in submission order regardless of completion
+// order.
+type Result[T any] struct {
+	Value T
+	Err   error
+	Stat  JobStat
+}
+
+// Config parameterises one Run call.
+type Config struct {
+	// Workers bounds the concurrently executing jobs. Zero or negative
+	// selects runtime.NumCPU().
+	Workers int
+	// Reporter, when non-nil, receives one synchronized line per
+	// completed job with completed/total counts.
+	Reporter *Reporter
+	// Collector, when non-nil, accumulates per-job stats for the run
+	// manifest.
+	Collector *Collector
+}
+
+// Workers resolves a requested worker count: zero or negative means
+// one worker per CPU.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// Run executes jobs over a bounded worker pool and returns their
+// results in submission order.
+//
+// Per-job failures (including recovered panics) do not stop the pool:
+// they are recorded in the corresponding Result and the remaining jobs
+// still run; the returned error stays nil. Use FirstError to collapse
+// them. The returned error is non-nil only when ctx is cancelled —
+// then dispatching stops, in-flight jobs drain, and every undispatched
+// job's Result carries the context error.
+func Run[T any](ctx context.Context, cfg Config, jobs []Job[T]) ([]Result[T], error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(jobs) == 0 {
+		return nil, ctx.Err()
+	}
+	workers := Workers(cfg.Workers)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	cfg.Reporter.addTotal(len(jobs))
+
+	results := make([]Result[T], len(jobs))
+	dispatched := make([]bool, len(jobs))
+	queue := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				results[i] = runJob(ctx, cfg, i, jobs[i])
+			}
+		}()
+	}
+
+dispatch:
+	for i := range jobs {
+		select {
+		case queue <- i:
+			dispatched[i] = true
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(queue)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		done := 0
+		for i := range jobs {
+			if dispatched[i] {
+				done++
+				continue
+			}
+			results[i].Err = err
+			results[i].Stat = JobStat{Index: i, Name: jobs[i].Name, Error: err.Error()}
+		}
+		return results, fmt.Errorf("runner: cancelled after %d/%d jobs: %w", done, len(jobs), err)
+	}
+	return results, nil
+}
+
+// runJob executes one job with panic recovery and stat accounting.
+func runJob[T any](ctx context.Context, cfg Config, i int, j Job[T]) (res Result[T]) {
+	res.Stat = JobStat{Index: i, Name: j.Name, Instructions: j.Work}
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("runner: job %q panicked: %v\n%s", j.Name, r, debug.Stack())
+		}
+		wall := time.Since(start)
+		res.Stat.WallSeconds = wall.Seconds()
+		if secs := wall.Seconds(); secs > 0 {
+			res.Stat.IPS = float64(j.Work) / secs
+		}
+		detail := ""
+		if res.Err != nil {
+			res.Stat.Error = res.Err.Error()
+		} else if j.Detail != nil {
+			detail = j.Detail(res.Value)
+		}
+		cfg.Collector.add(res.Stat)
+		cfg.Reporter.jobDone(res.Stat, detail)
+	}()
+	res.Value, res.Err = j.Run(ctx)
+	return
+}
+
+// FirstError returns the first per-job error in submission order, nil
+// if every job succeeded.
+func FirstError[T any](results []Result[T]) error {
+	for i := range results {
+		if results[i].Err != nil {
+			return results[i].Err
+		}
+	}
+	return nil
+}
