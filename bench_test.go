@@ -13,7 +13,9 @@ import (
 	"testing"
 
 	"tlacache/internal/experiments"
+	"tlacache/internal/hierarchy"
 	"tlacache/internal/sim"
+	"tlacache/internal/telemetry"
 	"tlacache/internal/workload"
 )
 
@@ -148,6 +150,39 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(2 * cfg.Instructions)) // "bytes" = instructions, for MB/s ~ MI/s
+}
+
+// BenchmarkTelemetryOverhead measures what instrumentation costs on a
+// QBS run (the policy with the most probe sites): "off" is the
+// nil-probe fast path every uninstrumented run takes, "recorder" adds
+// the event probe, and "recorder+sampler" adds the interval sampler on
+// top. "off" is the configuration the <2% regression budget guards.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	base := sim.DefaultConfig(2)
+	base.Instructions = 100_000
+	base.Warmup = 0
+	base.Hierarchy.TLA = hierarchy.TLAQBS
+	mix := workload.Mix{Name: "BENCH", Apps: []string{"sje", "lib"}}
+	for _, mode := range []string{"off", "recorder", "recorder+sampler"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := base
+				switch mode {
+				case "recorder":
+					cfg.Probe = telemetry.NewRecorder()
+				case "recorder+sampler":
+					cfg.Probe = telemetry.NewRecorder()
+					cfg.Sampler = telemetry.NewSampler(10_000)
+				}
+				if _, err := sim.RunMix(cfg, mix); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkQBSOverhead isolates the per-miss cost of QBS victim

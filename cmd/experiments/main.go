@@ -28,8 +28,10 @@ import (
 	"syscall"
 	"time"
 
+	"tlacache/internal/cli"
 	"tlacache/internal/experiments"
 	"tlacache/internal/runner"
+	"tlacache/internal/telemetry"
 )
 
 func main() {
@@ -45,7 +47,24 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-run progress")
 	out := flag.String("out", "", "directory for CSV + run-manifest output (optional)")
 	jsonOut := flag.Bool("json", false, "emit tables as JSON instead of text")
+	interval := flag.Uint64("interval", 0,
+		"sample per-core time series every N instructions; CSVs land under <out>/intervals/ (0 = off)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve net/http/pprof and expvar on this address during the run, e.g. localhost:6060")
+	showVersion := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(cli.Version())
+		return
+	}
+	if *debugAddr != "" {
+		addr, err := telemetry.ServeDebug(*debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("debug server: http://%s/debug/pprof/ and http://%s/debug/vars", addr, addr)
+	}
 
 	if *list || *run == "" {
 		fmt.Println("available experiments:")
@@ -75,6 +94,7 @@ func main() {
 	if *verbose {
 		opts.Progress = runner.NewReporter(os.Stderr)
 	}
+	opts.SampleEvery = *interval
 
 	var names []string
 	if *run == "all" {
@@ -119,6 +139,9 @@ func main() {
 func runOne(name string, run experiments.Runner, opts experiments.Options, outDir string, jsonOut bool) error {
 	col := runner.NewCollector()
 	opts.Stats = col
+	if opts.SampleEvery > 0 && outDir != "" {
+		opts.SampleDir = filepath.Join(outDir, "intervals", name)
+	}
 	start := time.Now()
 	tables, err := run(opts)
 	wall := time.Since(start)

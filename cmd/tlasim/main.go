@@ -30,6 +30,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"text/tabwriter"
@@ -37,6 +38,7 @@ import (
 	"tlacache/internal/cli"
 	"tlacache/internal/runner"
 	"tlacache/internal/sim"
+	"tlacache/internal/telemetry"
 	"tlacache/internal/trace"
 	"tlacache/internal/workload"
 )
@@ -57,7 +59,26 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers when comparing policies (0 = one per CPU)")
 	noPrefetch := flag.Bool("no-prefetch", false, "disable the stream prefetcher")
 	listBench := flag.Bool("list", false, "list benchmarks and mixes, then exit")
+	interval := flag.Uint64("interval", 0,
+		"sample per-core IPC/MPKI/inclusion-victim time series every N instructions (0 = off)")
+	telemetryOut := flag.String("telemetry-out", "tlasim-intervals",
+		"path prefix for -interval output; writes <prefix>.csv and <prefix>.jsonl (suffix -<policy> when comparing)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve net/http/pprof and expvar on this address during the run, e.g. localhost:6060")
+	showVersion := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(cli.Version())
+		return
+	}
+	if *debugAddr != "" {
+		addr, err := telemetry.ServeDebug(*debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("debug server: http://%s/debug/pprof/ and http://%s/debug/vars", addr, addr)
+	}
 
 	if *listBench {
 		fmt.Println("benchmarks:")
@@ -126,11 +147,15 @@ func main() {
 		baseCfg.Hierarchy.LLCSize = size
 	}
 
-	// One job per policy; a single policy degenerates to one job.
+	// One job per policy; a single policy degenerates to one job. When
+	// -interval is set, every job gets its own sampler and recorder so
+	// parallel comparison runs never share telemetry state.
 	type outcome struct {
-		Policy string        `json:"policy"`
-		Config sim.Config    `json:"-"`
-		Result sim.MixResult `json:"result"`
+		Policy    string             `json:"policy"`
+		Config    sim.Config         `json:"-"`
+		Result    sim.MixResult      `json:"result"`
+		Sampler   *telemetry.Sampler `json:"-"`
+		Telemetry *telemetry.Summary `json:"telemetry,omitempty"`
 	}
 	jobs := make([]runner.Job[outcome], len(policies))
 	for i, p := range policies {
@@ -142,9 +167,18 @@ func main() {
 		jobs[i] = runner.Job[outcome]{
 			Name: "policy/" + p,
 			Work: uint64(cores) * (cfg.Warmup + cfg.Instructions),
-			Run: func(context.Context) (outcome, error) {
-				out := outcome{Policy: p, Config: cfg}
-				var err error
+			Run: func(context.Context) (out outcome, err error) {
+				out = outcome{Policy: p, Config: cfg}
+				if *interval > 0 {
+					out.Sampler = telemetry.NewSampler(*interval)
+					cfg.Sampler = out.Sampler
+					rec := telemetry.NewRecorder()
+					cfg.Probe = rec
+					defer func() {
+						s := rec.Summary()
+						out.Telemetry = &s
+					}()
+				}
 				if makeStreams != nil {
 					var streams []trace.Generator
 					if streams, err = makeStreams(); err != nil {
@@ -176,6 +210,20 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *interval > 0 {
+		for _, r := range results {
+			prefix := *telemetryOut
+			if len(results) > 1 {
+				prefix += "-" + r.Value.Policy
+			}
+			if err := r.Value.Sampler.WritePair(prefix); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("telemetry: wrote %s.csv and %s.jsonl (%d samples)",
+				prefix, prefix, len(r.Value.Sampler.Samples()))
+		}
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -200,6 +248,9 @@ func main() {
 			fmt.Println()
 		}
 		report(r.Value.Config, r.Value.Result)
+		if r.Value.Telemetry != nil {
+			telemetryReport(*r.Value.Telemetry)
+		}
 	}
 	if len(results) > 1 {
 		fmt.Println()
@@ -284,6 +335,34 @@ func profileFactory(paths []string, seed uint64) (func() ([]trace.Generator, err
 		}
 		return out, nil
 	}, len(paths), nil
+}
+
+// telemetryReport prints the probe summary collected alongside a run:
+// event counts plus the QBS query-depth and ECI rescue-distance
+// histograms when the policy produced them.
+func telemetryReport(s telemetry.Summary) {
+	if len(s.Events) == 0 && s.QBSQueryDepth == nil && s.ECIRescueDistance == nil {
+		return
+	}
+	fmt.Println("\nprobe events:")
+	names := make([]string, 0, len(s.Events))
+	for name := range s.Events {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tw := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	for _, name := range names {
+		fmt.Fprintf(tw, "  %s\t%d\n", name, s.Events[name])
+	}
+	tw.Flush()
+	if h := s.QBSQueryDepth; h != nil {
+		fmt.Printf("QBS query depth      mean %.2f, p50 %.0f, p99 %.0f, max %d\n",
+			h.Mean, h.P50, h.P99, h.Max)
+	}
+	if h := s.ECIRescueDistance; h != nil {
+		fmt.Printf("ECI rescue distance  mean %.1f, p50 %.0f, p99 %.0f, max %d\n",
+			h.Mean, h.P50, h.P99, h.Max)
+	}
 }
 
 func report(cfg sim.Config, res sim.MixResult) {

@@ -4,6 +4,8 @@ package cli
 
 import (
 	"fmt"
+	"runtime"
+	"runtime/debug"
 	"strings"
 
 	"tlacache/internal/hierarchy"
@@ -67,6 +69,33 @@ func ResolveMix(arg string) (workload.Mix, error) {
 		}
 	}
 	return workload.Mix{Name: "CLI", Apps: apps}, nil
+}
+
+// Version renders the binary's build identity for -version flags: Go
+// toolchain, and — when the binary was built with VCS stamping — the
+// revision, commit time, and a dirty marker. Built from
+// debug.ReadBuildInfo so it needs no ldflags plumbing.
+func Version() string {
+	rev, at, dirty := "unknown", "", ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+				if len(rev) > 12 {
+					rev = rev[:12]
+				}
+			case "vcs.time":
+				at = " (" + s.Value + ")"
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+	}
+	return fmt.Sprintf("tlacache %s%s%s, %s %s/%s",
+		rev, dirty, at, runtime.Version(), runtime.GOOS, runtime.GOARCH)
 }
 
 // ParseSize parses a byte size with an optional KB/MB suffix ("1MB",

@@ -1,6 +1,8 @@
 package cli
 
 import (
+	"runtime"
+	"strings"
 	"testing"
 
 	"tlacache/internal/hierarchy"
@@ -57,6 +59,19 @@ func TestResolveMix(t *testing.T) {
 	}
 	if _, err := ResolveMix("dea,nope"); err == nil {
 		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestVersion(t *testing.T) {
+	v := Version()
+	// Test binaries carry no VCS stamp, but the toolchain and platform
+	// must always be present.
+	if !strings.HasPrefix(v, "tlacache ") {
+		t.Errorf("Version() = %q, want tlacache prefix", v)
+	}
+	if !strings.Contains(v, runtime.Version()) ||
+		!strings.Contains(v, runtime.GOOS+"/"+runtime.GOARCH) {
+		t.Errorf("Version() = %q lacks toolchain/platform", v)
 	}
 }
 

@@ -16,12 +16,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"path/filepath"
 	"strings"
 	"text/tabwriter"
 
 	"tlacache/internal/hierarchy"
 	"tlacache/internal/runner"
 	"tlacache/internal/sim"
+	"tlacache/internal/telemetry"
 	"tlacache/internal/workload"
 )
 
@@ -48,6 +50,14 @@ type Options struct {
 	// Stats, when non-nil, accumulates per-job wall time and simulated
 	// instruction throughput for the run manifest.
 	Stats *runner.Collector
+	// SampleEvery, when non-zero, instruments every simulation cell with
+	// a telemetry recorder and an interval sampler snapshotting per-core
+	// IPC, MPKI, and inclusion victims every SampleEvery committed
+	// instructions. Probe summaries land in the Stats manifest.
+	SampleEvery uint64
+	// SampleDir, when set alongside SampleEvery, receives one
+	// <mix>-<spec>-intervals.{csv,jsonl} time-series pair per cell.
+	SampleDir string
 }
 
 // DefaultOptions balance fidelity and runtime: the warmup is long
@@ -167,6 +177,20 @@ func qbs(name string, probe hierarchy.CacheSet, maxQueries int) Spec {
 	}}
 }
 
+// sanitizeName maps a job name to a filesystem-safe file fragment:
+// anything outside [A-Za-z0-9._-] becomes '-'.
+func sanitizeName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}
+
 // runCell simulates one (mix, spec) cell.
 func runCell(cfg sim.Config, spec Spec, mix workload.Mix) (sim.MixResult, error) {
 	c := cfg
@@ -205,9 +229,28 @@ func runMatrix(o Options, cores int, mixes []workload.Mix, specs []Spec, mutate 
 				Name: mix.Name + "/" + spec.Name,
 				Work: work,
 				Run: func(context.Context) (sim.MixResult, error) {
-					res, err := runCell(cfg, spec, mix)
+					c := cfg
+					var rec *telemetry.Recorder
+					if o.SampleEvery > 0 {
+						// Each cell owns its sampler and recorder, so
+						// parallel cells never share telemetry state.
+						c.Sampler = telemetry.NewSampler(o.SampleEvery)
+						rec = telemetry.NewRecorder()
+						c.Probe = rec
+					}
+					res, err := runCell(c, spec, mix)
 					if err != nil {
 						return res, fmt.Errorf("%s under %s: %w", mix.Name, spec.Name, err)
+					}
+					if rec != nil {
+						o.Stats.AddTelemetry(mix.Name+"/"+spec.Name, rec.Summary())
+						if o.SampleDir != "" {
+							prefix := filepath.Join(o.SampleDir,
+								sanitizeName(mix.Name+"-"+spec.Name)+"-intervals")
+							if werr := c.Sampler.WritePair(prefix); werr != nil {
+								return res, werr
+							}
+						}
 					}
 					return res, nil
 				},

@@ -3,6 +3,8 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -132,6 +134,50 @@ func TestRunMatrixProgressAndErrors(t *testing.T) {
 	zero := Options{}
 	if _, err := runMatrix(zero, 2, twoMixes(), []Spec{baseline()}, nil); err == nil {
 		t.Error("invalid options accepted")
+	}
+}
+
+// TestRunMatrixSampling checks the observability wiring end to end:
+// SampleEvery instruments every cell, interval CSV/JSONL pairs land
+// under SampleDir, and probe summaries reach the stats collector.
+func TestRunMatrixSampling(t *testing.T) {
+	o := fastOptions()
+	o.Stats = runner.NewCollector()
+	o.SampleEvery = 5_000
+	o.SampleDir = t.TempDir()
+	mixes := twoMixes()
+	specs := []Spec{baseline(), qbs("QBS", hierarchy.AllCaches, 0)}
+	if _, err := runMatrix(o, 2, mixes, specs, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, mix := range mixes {
+		for _, spec := range specs {
+			base := sanitizeName(mix.Name+"-"+spec.Name) + "-intervals"
+			for _, ext := range []string{".csv", ".jsonl"} {
+				fi, err := os.Stat(filepath.Join(o.SampleDir, base+ext))
+				if err != nil {
+					t.Fatalf("missing interval file: %v", err)
+				}
+				if fi.Size() == 0 {
+					t.Errorf("%s%s is empty", base, ext)
+				}
+			}
+		}
+	}
+	sums := o.Stats.Telemetry()
+	if len(sums) != len(mixes)*len(specs) {
+		t.Fatalf("collector holds %d summaries, want %d", len(sums), len(mixes)*len(specs))
+	}
+	for _, s := range sums {
+		if !strings.Contains(s.Name, "/") {
+			t.Errorf("summary name %q not mix/spec", s.Name)
+		}
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	if got := sanitizeName("MIX_00/QBS (L1 only)"); got != "MIX_00-QBS--L1-only-" {
+		t.Errorf("sanitizeName = %q", got)
 	}
 }
 

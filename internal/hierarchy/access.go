@@ -114,6 +114,12 @@ func (h *Hierarchy) lookupLLC(core int, kind AccessKind, la uint64) Result {
 				h.l2[core].SetDirty(la)
 			}
 		} else {
+			// An LLC hit on a line with an empty presence mask under ECI
+			// is a rescue: the line was early-invalidated from the core
+			// caches and the prompt re-reference ECI bet on has arrived.
+			if h.probe != nil && h.cfg.TLA == TLAECI && h.llc.Line(set, way).Presence == 0 {
+				h.probe.ECIRescue(la)
+			}
 			h.llc.PromoteWay(set, way)
 			h.llc.AddPresence(la, core)
 			h.fillL2(core, la)
@@ -242,6 +248,9 @@ func (h *Hierarchy) allocL2(core int, la uint64) {
 		}
 		if removed {
 			h.Cores[core].L2InclusionVictims++
+			if h.probe != nil {
+				h.probe.L2InclusionVictim(core, victim.Addr)
+			}
 		}
 	}
 	l2.FillWay(set, way, la, 0)
@@ -342,7 +351,11 @@ func (h *Hierarchy) selectLLCVictim(set int) int {
 		}
 		h.Traffic.QBSQueries++
 		q++
-		if !h.residentInCores(line.Addr, presence, h.cfg.QBSProbe) {
+		resident := h.residentInCores(line.Addr, presence, h.cfg.QBSProbe)
+		if h.probe != nil {
+			h.probe.QBSQuery(line.Addr, q, resident)
+		}
+		if !resident {
 			return way
 		}
 		h.Traffic.QBSSaves++
@@ -426,6 +439,9 @@ func (h *Hierarchy) backInvalidate(addr uint64, presence uint64) (dirty bool) {
 		c := bits.TrailingZeros64(presence)
 		presence &^= 1 << uint(c)
 		h.Traffic.BackInvalidates++
+		if h.probe != nil {
+			h.probe.BackInvalidate(addr)
+		}
 		removed := false
 		if line, ok := h.l1i[c].Invalidate(addr); ok {
 			removed = true
@@ -441,6 +457,9 @@ func (h *Hierarchy) backInvalidate(addr uint64, presence uint64) (dirty bool) {
 		}
 		if removed {
 			h.Cores[c].InclusionVictims++
+			if h.probe != nil {
+				h.probe.InclusionVictim(c, addr)
+			}
 		}
 	}
 	return dirty
@@ -460,6 +479,9 @@ func (h *Hierarchy) earlyCoreInvalidate(set int, justFilled uint64) {
 		return
 	}
 	h.Traffic.ECISent++
+	if h.probe != nil {
+		h.probe.ECIInvalidate(line.Addr)
+	}
 	h.Traffic.ECIInvalidated += uint64(h.invalidateInCores(line.Addr, presence))
 	h.llc.ClearPresence(line.Addr)
 }
@@ -503,6 +525,9 @@ func (h *Hierarchy) maybeHint(src CacheSet, la uint64) {
 		}
 	}
 	h.Traffic.TLHSent++
+	if h.probe != nil {
+		h.probe.TLHHint(la)
+	}
 	h.llc.Touch(la)
 }
 

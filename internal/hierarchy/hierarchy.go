@@ -26,6 +26,7 @@ import (
 	"tlacache/internal/cache"
 	"tlacache/internal/prefetch"
 	"tlacache/internal/replacement"
+	"tlacache/internal/telemetry"
 )
 
 // InclusionMode selects the LLC's relationship to the core caches.
@@ -395,6 +396,11 @@ type Hierarchy struct {
 	bankFree      []uint64 // per-bank next-free cycle (LLCBanks > 0)
 	bankOccupancy uint64
 
+	// probe receives typed telemetry events when non-nil. Every fire
+	// site is on a miss or invalidation path and guarded by a single
+	// nil-interface branch, so the disabled (nil) cost is negligible.
+	probe telemetry.Probe
+
 	Cores   []CoreStats
 	Traffic Traffic
 }
@@ -466,6 +472,11 @@ func MustNew(cfg Config) *Hierarchy {
 
 // Config returns the hierarchy's configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
+
+// SetProbe attaches (or, with nil, detaches) a telemetry probe. The
+// simulator attaches it after the warmup counter reset so probes
+// observe exactly the measurement window.
+func (h *Hierarchy) SetProbe(p telemetry.Probe) { h.probe = p }
 
 // LLC exposes the shared last-level cache (read-only use intended:
 // invariant checks, worked examples, tests).

@@ -1,0 +1,136 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"tlacache/internal/replacement"
+	"tlacache/internal/telemetry"
+)
+
+// miniProbeConfig is a deliberately tiny machine (4KB LLC) so a few
+// thousand accesses produce evictions, back-invalidations, and every
+// TLA event.
+func miniProbeConfig(tla TLAPolicy) Config {
+	return Config{
+		Cores: 2, LineSize: 64,
+		L1ISize: 1 << 10, L1IAssoc: 2,
+		L1DSize: 1 << 10, L1DAssoc: 2,
+		L2Size: 2 << 10, L2Assoc: 2,
+		LLCSize: 4 << 10, LLCAssoc: 4,
+		L1Policy: replacement.LRU, L2Policy: replacement.LRU, LLCPolicy: replacement.NRU,
+		Inclusion:  Inclusive,
+		TLA:        tla,
+		TLHSources: L1Caches, TLHPerMille: 1000,
+		QBSProbe: AllCaches,
+		Latency:  DefaultLatencies(),
+	}
+}
+
+// driveProbes runs a reuse-heavy access pattern whose working set
+// exceeds the LLC, from both cores.
+func driveProbes(h *Hierarchy) {
+	for i := 0; i < 6000; i++ {
+		core := i & 1
+		h.Access(core, IFetch, uint64(i%61)*64)
+		h.Access(core, Load, uint64(i%striding)*64)
+		if i%7 == 0 {
+			h.Access(core, Store, uint64(i%striding)*64)
+		}
+	}
+}
+
+const striding = 257 // lines in the data working set: 257*64B ≈ 4x the LLC
+
+// TestProbeMatchesTrafficCounters asserts, for each policy, that the
+// recorder's event counts agree exactly with the hierarchy's own
+// aggregate counters — the property the interval time series and
+// manifest summaries rely on.
+func TestProbeMatchesTrafficCounters(t *testing.T) {
+	for _, tla := range []TLAPolicy{TLANone, TLATLH, TLAECI, TLAQBS} {
+		t.Run(tla.String(), func(t *testing.T) {
+			h := MustNew(miniProbeConfig(tla))
+			rec := telemetry.NewRecorder()
+			h.SetProbe(rec)
+			driveProbes(h)
+
+			if got, want := rec.Count(telemetry.EvBackInvalidate), h.Traffic.BackInvalidates; got != want {
+				t.Errorf("back-invalidate events = %d, counter = %d", got, want)
+			}
+			var victims uint64
+			for _, cs := range h.Cores {
+				victims += cs.InclusionVictims
+			}
+			if got := rec.Count(telemetry.EvInclusionVictim); got != victims {
+				t.Errorf("inclusion-victim events = %d, counters = %d", got, victims)
+			}
+			if got, want := rec.Count(telemetry.EvTLHHint), h.Traffic.TLHSent; got != want {
+				t.Errorf("TLH events = %d, counter = %d", got, want)
+			}
+			if got, want := rec.Count(telemetry.EvQBSQuery), h.Traffic.QBSQueries; got != want {
+				t.Errorf("QBS query events = %d, counter = %d", got, want)
+			}
+			if got, want := rec.Count(telemetry.EvQBSSave), h.Traffic.QBSSaves; got != want {
+				t.Errorf("QBS save events = %d, counter = %d", got, want)
+			}
+			if got, want := rec.Count(telemetry.EvECIInvalidate), h.Traffic.ECISent; got != want {
+				t.Errorf("ECI events = %d, counter = %d", got, want)
+			}
+
+			switch tla {
+			case TLANone:
+				if victims == 0 {
+					t.Error("tiny inclusive LLC produced no inclusion victims")
+				}
+			case TLATLH:
+				if rec.Count(telemetry.EvTLHHint) == 0 {
+					t.Error("no TLH hints observed")
+				}
+			case TLAQBS:
+				if rec.Count(telemetry.EvQBSQuery) == 0 {
+					t.Error("no QBS queries observed")
+				}
+			case TLAECI:
+				if rec.Count(telemetry.EvECIInvalidate) == 0 {
+					t.Error("no ECI invalidations observed")
+				}
+				// The reuse pattern re-references early-invalidated lines
+				// while they are still LLC-resident: rescues must occur.
+				if rec.Count(telemetry.EvECIRescue) == 0 {
+					t.Error("no ECI rescues observed")
+				}
+			}
+		})
+	}
+}
+
+// TestProbeL2InclusionVictims exercises the inclusive-L2 event.
+func TestProbeL2InclusionVictims(t *testing.T) {
+	cfg := miniProbeConfig(TLANone)
+	cfg.L2Inclusive = true
+	h := MustNew(cfg)
+	rec := telemetry.NewRecorder()
+	h.SetProbe(rec)
+	driveProbes(h)
+	var want uint64
+	for _, cs := range h.Cores {
+		want += cs.L2InclusionVictims
+	}
+	if want == 0 {
+		t.Fatal("no L2 inclusion victims produced")
+	}
+	if got := rec.Count(telemetry.EvL2InclusionVictim); got != want {
+		t.Errorf("L2 inclusion-victim events = %d, counters = %d", got, want)
+	}
+}
+
+// TestProbeDetach asserts SetProbe(nil) restores the probe-free path.
+func TestProbeDetach(t *testing.T) {
+	h := MustNew(miniProbeConfig(TLANone))
+	rec := telemetry.NewRecorder()
+	h.SetProbe(rec)
+	h.SetProbe(nil)
+	driveProbes(h)
+	if got := rec.Count(telemetry.EvBackInvalidate); got != 0 {
+		t.Errorf("detached probe still received %d events", got)
+	}
+}

@@ -63,7 +63,9 @@ func Geomean(xs []float64) (float64, error) {
 	}
 	logSum := 0.0
 	for i, v := range xs {
-		if v <= 0 {
+		// NaN compares false against everything, so it needs its own
+		// check or it would sail through and poison the whole mean.
+		if math.IsNaN(v) || v <= 0 {
 			return 0, fmt.Errorf("metrics: geomean input %d is %v", i, v)
 		}
 		logSum += math.Log(v)
@@ -106,6 +108,13 @@ func SCurveBy(vals, keys []float64) ([]float64, error) {
 	if len(vals) != len(keys) {
 		return nil, fmt.Errorf("metrics: SCurveBy needs equal lengths, got %d and %d", len(vals), len(keys))
 	}
+	for i, k := range keys {
+		// A NaN key has no place in a total order: sort would produce
+		// an arbitrary, run-dependent permutation.
+		if math.IsNaN(k) {
+			return nil, fmt.Errorf("metrics: SCurveBy key %d is NaN", i)
+		}
+	}
 	idx := make([]int, len(vals))
 	for i := range idx {
 		idx[i] = i
@@ -136,8 +145,13 @@ func Quantile(vals []float64, q float64) (float64, error) {
 	if len(vals) == 0 {
 		return 0, fmt.Errorf("metrics: quantile of no values")
 	}
-	if q < 0 || q > 1 {
+	if math.IsNaN(q) || q < 0 || q > 1 {
 		return 0, fmt.Errorf("metrics: quantile %v out of [0,1]", q)
+	}
+	for i, v := range vals {
+		if math.IsNaN(v) {
+			return 0, fmt.Errorf("metrics: quantile input %d is NaN", i)
+		}
 	}
 	s := SCurve(vals)
 	pos := q * float64(len(s)-1)

@@ -55,6 +55,13 @@ func TestGeomean(t *testing.T) {
 	if _, err := Geomean([]float64{1, 0}); err == nil {
 		t.Error("zero value accepted")
 	}
+	if _, err := Geomean([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN value accepted")
+	}
+	// Single element: geomean is the element itself.
+	if g, err := Geomean([]float64{7}); err != nil || !almost(g, 7) {
+		t.Errorf("Geomean([7]) = %v, %v", g, err)
+	}
 	// Property: geomean lies between min and max.
 	f := func(raw []uint16) bool {
 		if len(raw) == 0 {
@@ -116,6 +123,21 @@ func TestSCurveBy(t *testing.T) {
 	if _, err := SCurveBy(vals, keys[:2]); err == nil {
 		t.Error("length mismatch accepted")
 	}
+	if _, err := SCurveBy(vals, []float64{1, math.NaN(), 2}); err == nil {
+		t.Error("NaN key accepted")
+	}
+	// Empty and single-element inputs pass through unchanged.
+	if out, err := SCurveBy(nil, nil); err != nil || len(out) != 0 {
+		t.Errorf("SCurveBy(nil, nil) = %v, %v", out, err)
+	}
+	if out, err := SCurveBy([]float64{5}, []float64{9}); err != nil || out[0] != 5 {
+		t.Errorf("SCurveBy single = %v, %v", out, err)
+	}
+	// NaN vals with orderable keys are allowed: keys define the order.
+	out, err = SCurveBy([]float64{math.NaN(), 1}, []float64{2, 1})
+	if err != nil || !math.IsNaN(out[1]) || out[0] != 1 {
+		t.Errorf("SCurveBy NaN val = %v, %v", out, err)
+	}
 }
 
 func TestGapBridged(t *testing.T) {
@@ -142,5 +164,17 @@ func TestQuantile(t *testing.T) {
 	}
 	if _, err := Quantile(vals, 1.5); err == nil {
 		t.Error("out-of-range q accepted")
+	}
+	if _, err := Quantile(vals, math.NaN()); err == nil {
+		t.Error("NaN q accepted")
+	}
+	if _, err := Quantile([]float64{1, math.NaN()}, 0.5); err == nil {
+		t.Error("NaN value accepted")
+	}
+	// Single element: every quantile is that element.
+	for _, q := range []float64{0, 0.5, 1} {
+		if got, err := Quantile([]float64{42}, q); err != nil || got != 42 {
+			t.Errorf("Quantile([42], %v) = %v, %v", q, got, err)
+		}
 	}
 }

@@ -5,9 +5,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
+
+	"tlacache/internal/telemetry"
 )
 
 // JobStat is one job's observability record in the run manifest.
@@ -27,12 +31,53 @@ type JobStat struct {
 	Error string `json:"error,omitempty"`
 }
 
+// EnvInfo records the machine and toolchain a run executed on, making
+// manifests self-describing for cross-machine performance comparisons.
+type EnvInfo struct {
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// VCSRevision, VCSTime, and VCSModified come from the binary's
+	// embedded build info; they are empty for builds without VCS
+	// stamping (e.g. `go test` binaries).
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+// CollectEnv captures the current process's environment info.
+func CollectEnv() EnvInfo {
+	e := EnvInfo{
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				e.VCSRevision = s.Value
+			case "vcs.time":
+				e.VCSTime = s.Value
+			case "vcs.modified":
+				e.VCSModified = s.Value == "true"
+			}
+		}
+	}
+	return e
+}
+
 // Collector accumulates JobStats across every Run call of one
 // experiment. It is goroutine-safe; a nil *Collector discards
 // everything.
 type Collector struct {
-	mu   sync.Mutex
-	jobs []JobStat
+	mu        sync.Mutex
+	jobs      []JobStat
+	summaries []telemetry.Summary
 }
 
 // NewCollector returns an empty collector.
@@ -46,6 +91,32 @@ func (c *Collector) add(s JobStat) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.jobs = append(c.jobs, s)
+}
+
+// AddTelemetry records one job's probe summary under the job's name,
+// for inclusion in the run manifest. Goroutine-safe; nil-safe.
+func (c *Collector) AddTelemetry(name string, s telemetry.Summary) {
+	if c == nil {
+		return
+	}
+	s.Name = name
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.summaries = append(c.summaries, s)
+}
+
+// Telemetry returns a copy of the recorded probe summaries, sorted by
+// name so the manifest is stable across completion orderings.
+func (c *Collector) Telemetry() []telemetry.Summary {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]telemetry.Summary, len(c.summaries))
+	copy(out, c.summaries)
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
 }
 
 // Jobs returns a copy of the recorded stats, sorted by batch index then
@@ -91,6 +162,12 @@ type Manifest struct {
 	// worker count exists to raise.
 	AggregateIPS float64   `json:"aggregate_instructions_per_second"`
 	Jobs         []JobStat `json:"jobs"`
+	// Env records the machine and toolchain the run executed on.
+	Env EnvInfo `json:"environment"`
+	// Telemetry holds per-job probe summaries (event counts, QBS
+	// query-depth and ECI rescue-distance histograms) when the run was
+	// instrumented; absent otherwise.
+	Telemetry []telemetry.Summary `json:"telemetry,omitempty"`
 }
 
 // Manifest builds the run manifest for one experiment from the
@@ -101,6 +178,8 @@ func (c *Collector) Manifest(experiment string, workers int, wall time.Duration)
 		Workers:          workers,
 		TotalWallSeconds: wall.Seconds(),
 		Jobs:             c.Jobs(),
+		Env:              CollectEnv(),
+		Telemetry:        c.Telemetry(),
 	}
 	m.JobCount = len(m.Jobs)
 	for _, j := range m.Jobs {

@@ -21,6 +21,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"tlacache/internal/telemetry"
 )
 
 // Job is one independent unit of work: typically a single simulation
@@ -156,6 +158,9 @@ func runJob[T any](ctx context.Context, cfg Config, i int, j Job[T]) (res Result
 		}
 		cfg.Collector.add(res.Stat)
 		cfg.Reporter.jobDone(res.Stat, detail)
+		// Live introspection: /debug/vars shows jobs completed and
+		// instructions simulated climbing while a sweep runs.
+		telemetry.JobDone(j.Work)
 	}()
 	res.Value, res.Err = j.Run(ctx)
 	return

@@ -14,6 +14,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"tlacache/internal/telemetry"
 )
 
 // squareJobs builds n deterministic jobs returning i*i.
@@ -241,8 +243,9 @@ func TestNilReporterAndCollectorAreSafe(t *testing.T) {
 	}
 	var col *Collector
 	col.add(JobStat{Name: "x"})
-	if col.Jobs() != nil {
-		t.Error("nil collector has jobs")
+	col.AddTelemetry("x", telemetry.Summary{})
+	if col.Jobs() != nil || col.Telemetry() != nil {
+		t.Error("nil collector has jobs or telemetry")
 	}
 	if _, err := Run(context.Background(), Config{Workers: 2}, squareJobs(4)); err != nil {
 		t.Fatal(err)
@@ -300,5 +303,68 @@ func TestCollectorAndManifest(t *testing.T) {
 	if back.Experiment != "demo" || back.Seed != 7 || back.Workers != 4 ||
 		len(back.Jobs) != 10 || back.Jobs[7].Error == "" {
 		t.Errorf("manifest round-trip mangled: %+v", back)
+	}
+	if back.Env.GoVersion == "" || back.Env.OS == "" || back.Env.Arch == "" {
+		t.Errorf("manifest environment not self-describing: %+v", back.Env)
+	}
+}
+
+func TestCollectEnv(t *testing.T) {
+	e := CollectEnv()
+	if e.GoVersion != runtime.Version() || e.OS != runtime.GOOS || e.Arch != runtime.GOARCH {
+		t.Errorf("env identity wrong: %+v", e)
+	}
+	if e.GOMAXPROCS <= 0 || e.NumCPU <= 0 {
+		t.Errorf("env CPU info wrong: %+v", e)
+	}
+}
+
+func TestCollectorTelemetrySummaries(t *testing.T) {
+	col := NewCollector()
+	rec := telemetry.NewRecorder()
+	rec.InclusionVictim(0, 0x40)
+	rec.InclusionVictim(1, 0x80)
+	col.AddTelemetry("MIX_01/QBS", rec.Summary())
+	col.AddTelemetry("MIX_00/QBS", telemetry.NewRecorder().Summary())
+
+	sums := col.Telemetry()
+	if len(sums) != 2 || sums[0].Name != "MIX_00/QBS" || sums[1].Name != "MIX_01/QBS" {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	if sums[1].Events["inclusion_victim"] != 2 {
+		t.Errorf("summary events = %v", sums[1].Events)
+	}
+
+	m := col.Manifest("demo", 1, time.Second)
+	if len(m.Telemetry) != 2 {
+		t.Fatalf("manifest telemetry = %+v", m.Telemetry)
+	}
+	// And it survives the JSON round trip.
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Telemetry[1].Events["inclusion_victim"] != 2 {
+		t.Errorf("telemetry round-trip mangled: %+v", back.Telemetry)
+	}
+}
+
+// TestRunUpdatesLiveCounters checks the expvar introspection counters
+// climb as jobs complete.
+func TestRunUpdatesLiveCounters(t *testing.T) {
+	beforeJobs := telemetry.JobsCompleted()
+	beforeInstr := telemetry.InstructionsSimulated()
+	if _, err := Run(context.Background(), Config{Workers: 2}, squareJobs(5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := telemetry.JobsCompleted() - beforeJobs; got != 5 {
+		t.Errorf("jobs counter advanced by %d, want 5", got)
+	}
+	if got := telemetry.InstructionsSimulated() - beforeInstr; got != 5000 {
+		t.Errorf("instructions counter advanced by %d, want 5000", got)
 	}
 }

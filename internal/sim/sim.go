@@ -12,6 +12,7 @@ import (
 	"tlacache/internal/cpu"
 	"tlacache/internal/hierarchy"
 	"tlacache/internal/metrics"
+	"tlacache/internal/telemetry"
 	"tlacache/internal/trace"
 	"tlacache/internal/workload"
 )
@@ -45,6 +46,22 @@ type Config struct {
 	// a violation. Meant for debugging and the test suite; it is too
 	// expensive for production sweeps.
 	InvariantEvery uint64
+	// Probe, when non-nil, receives typed telemetry events (inclusion
+	// victims, back-invalidations, ECI, QBS, TLH) from the hierarchy.
+	// It is attached after the warmup counter reset, so it observes the
+	// measurement window — including, like Traffic, the post-budget
+	// execution of fast cores. A probe must not be shared between
+	// concurrent runs.
+	Probe telemetry.Probe
+	// Sampler, when non-nil, captures a per-core interval time series:
+	// every Sampler.Every() instructions a core commits inside its
+	// measurement window, the core's interval IPC, LLC MPKI,
+	// inclusion-victim delta, and the LLC occupancy are snapshotted. A
+	// final partial interval is flushed when the core reaches its
+	// budget, so the inclusion-victim column sums exactly to the run's
+	// aggregate InclusionVictims. A sampler must not be shared between
+	// concurrent runs.
+	Sampler *telemetry.Sampler
 }
 
 // DefaultConfig is the paper's baseline machine for the given core
@@ -191,6 +208,16 @@ func RunGenerators(cfg Config, streams []trace.Generator) (MixResult, error) {
 	finished := make([]bool, n)
 	hitLat := cfg.Hierarchy.Latency.L1
 
+	// Telemetry attaches after the warmup reset (see below), so during
+	// warmup both stay disabled. llcLines scales occupancy samples.
+	var sampler *telemetry.Sampler
+	llcLines := cfg.Hierarchy.LLCSize / cfg.Hierarchy.LineSize
+	sample := func(c int) {
+		cs := &h.Cores[c]
+		occ := float64(h.LLC().CountValid()) / float64(llcLines)
+		sampler.Observe(c, committed[c], cores[c].Cycle(), cs.LLC.Misses, cs.InclusionVictims, occ)
+	}
+
 	// run interleaves the cores — always advancing the one whose clock
 	// is furthest behind — until each has committed `budget`
 	// instructions since the last counter reset. Cores that reach the
@@ -222,6 +249,9 @@ func RunGenerators(cfg Config, streams []trace.Generator) (MixResult, error) {
 			cores[c].Instr(fetch.Latency, memLat, hitLat)
 			committed[c]++
 			total++
+			if sampler != nil && !finished[c] && committed[c]%sampler.Every() == 0 {
+				sample(c)
+			}
 			if cfg.InvariantEvery > 0 && total%cfg.InvariantEvery == 0 {
 				if err := h.CheckInvariants(); err != nil {
 					return fmt.Errorf("sim: after %d instructions: %w", total, err)
@@ -254,7 +284,15 @@ func RunGenerators(cfg Config, streams []trace.Generator) (MixResult, error) {
 			finished[i] = false
 		}
 	}
+	h.SetProbe(cfg.Probe)
+	sampler = cfg.Sampler
 	if err := run(cfg.Instructions, func(c int) {
+		if sampler != nil {
+			// Flush the final (possibly partial) interval exactly at the
+			// budget crossing; Observe ignores it when the budget landed
+			// on an interval boundary.
+			sample(c)
+		}
 		res.Apps[c] = snapshot(names[c], cores[c], &h.Cores[c], cfg.Instructions)
 	}); err != nil {
 		return MixResult{}, err

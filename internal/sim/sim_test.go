@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tlacache/internal/hierarchy"
+	"tlacache/internal/telemetry"
 	"tlacache/internal/workload"
 )
 
@@ -184,6 +185,100 @@ func TestInclusionVictimsAppearAndQBSRemovesThem(t *testing.T) {
 	// Miss reduction: QBS must cut the mix's LLC misses vs baseline.
 	if qbsRes.LLCMisses >= baseRes.LLCMisses {
 		t.Errorf("QBS LLC misses %d not below baseline %d", qbsRes.LLCMisses, baseRes.LLCMisses)
+	}
+}
+
+// TestSamplerVictimColumnSumsToAggregate is the telemetry contract the
+// interval CSVs rely on: the per-interval inclusion-victim deltas sum
+// exactly to the run's windowed aggregate, for any sampling interval —
+// dividing the budget evenly, leaving a partial final interval, or
+// larger than the whole budget.
+func TestSamplerVictimColumnSumsToAggregate(t *testing.T) {
+	mix := workload.Mix{Name: "CCF+LLCT", Apps: []string{"sje", "lib"}}
+	for _, every := range []uint64{10_000, 17_000, 300_000} {
+		cfg := quickConfig(2, 100_000)
+		cfg.Warmup = 400_000
+		cfg.Sampler = telemetry.NewSampler(every)
+		res, err := RunMix(cfg, mix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples := cfg.Sampler.Samples()
+		if len(samples) == 0 {
+			t.Fatalf("every=%d: no samples", every)
+		}
+		if got := cfg.Sampler.TotalInclusionVictims(); got != res.InclusionVictims {
+			t.Errorf("every=%d: sample victims sum to %d, aggregate is %d",
+				every, got, res.InclusionVictims)
+		}
+		// Every core's last sample lands exactly on the budget.
+		last := map[int]uint64{}
+		for _, s := range samples {
+			last[s.Core] = s.Instructions
+		}
+		for core, instr := range last {
+			if instr != cfg.Instructions {
+				t.Errorf("every=%d: core %d final sample at %d, want %d",
+					every, core, instr, cfg.Instructions)
+			}
+		}
+		// Occupancy is a fraction of LLC lines.
+		for _, s := range samples {
+			if s.LLCOccupancy < 0 || s.LLCOccupancy > 1 {
+				t.Fatalf("every=%d: occupancy %v out of [0,1]", every, s.LLCOccupancy)
+			}
+		}
+	}
+}
+
+// TestProbeObservesMeasurementWindow attaches a recorder and checks it
+// agrees with the run's Traffic counters (both cover the measurement
+// window including post-budget execution) and stays silent during
+// warmup-only activity.
+func TestProbeObservesMeasurementWindow(t *testing.T) {
+	cfg := quickConfig(2, 60_000)
+	cfg.Warmup = 400_000
+	cfg.Hierarchy.TLA = hierarchy.TLAQBS
+	rec := telemetry.NewRecorder()
+	cfg.Probe = rec
+	res, err := RunMix(cfg, workload.Mix{Name: "Q", Apps: []string{"sje", "lib"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rec.Count(telemetry.EvQBSQuery), res.Traffic.QBSQueries; got != want {
+		t.Errorf("QBS query events = %d, traffic counter = %d", got, want)
+	}
+	if got, want := rec.Count(telemetry.EvQBSSave), res.Traffic.QBSSaves; got != want {
+		t.Errorf("QBS save events = %d, traffic counter = %d", got, want)
+	}
+	if got, want := rec.Count(telemetry.EvBackInvalidate), res.Traffic.BackInvalidates; got != want {
+		t.Errorf("back-invalidate events = %d, traffic counter = %d", got, want)
+	}
+}
+
+// TestTelemetryDoesNotPerturbResults is determinism across
+// instrumentation: attaching a probe and sampler must not change a
+// single statistic of the simulated machine.
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	cfg := quickConfig(2, 50_000)
+	mix := workload.Mix{Name: "D", Apps: []string{"sje", "lib"}}
+	plain, err := RunMix(cfg, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Probe = telemetry.NewRecorder()
+	cfg.Sampler = telemetry.NewSampler(5_000)
+	instrumented, err := RunMix(cfg, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Traffic != instrumented.Traffic || plain.Throughput != instrumented.Throughput {
+		t.Fatal("telemetry changed simulation results")
+	}
+	for i := range plain.Apps {
+		if plain.Apps[i] != instrumented.Apps[i] {
+			t.Fatalf("app %d diverged under telemetry", i)
+		}
 	}
 }
 

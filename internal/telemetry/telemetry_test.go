@@ -1,0 +1,266 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if s := h.Summary(); s.Count != 0 || s.Buckets != nil {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	for _, v := range []uint64{0, 1, 1, 2, 5, 100} {
+		h.Observe(v)
+	}
+	s := h.Summary()
+	if s.Count != 6 || s.Sum != 109 || s.Min != 0 || s.Max != 100 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 109.0/6 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	var bucketTotal uint64
+	for _, b := range s.Buckets {
+		if b.Lo > b.Hi {
+			t.Errorf("bucket %+v inverted", b)
+		}
+		bucketTotal += b.Count
+	}
+	if bucketTotal != s.Count {
+		t.Errorf("buckets sum to %d, want %d", bucketTotal, s.Count)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(1) // single-value buckets make quantiles exact
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 1 {
+			t.Errorf("Quantile(%v) = %v, want 1", q, got)
+		}
+	}
+	h.Observe(1000)
+	if got := h.Quantile(0.5); got != 1 {
+		t.Errorf("median = %v, want 1", got)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("max quantile = %v, want 1000", got)
+	}
+	// Quantiles must be monotone in q.
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.1 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestRecorderCountsAndSummary(t *testing.T) {
+	r := NewRecorder()
+	r.InclusionVictim(0, 0x100)
+	r.InclusionVictim(1, 0x140)
+	r.L2InclusionVictim(0, 0x180)
+	r.BackInvalidate(0x100)
+	r.TLHHint(0x200)
+	if r.Count(EvInclusionVictim) != 2 || r.Count(EvBackInvalidate) != 1 {
+		t.Fatalf("counts = %d, %d", r.Count(EvInclusionVictim), r.Count(EvBackInvalidate))
+	}
+	s := r.Summary()
+	if s.Events["inclusion_victim"] != 2 || s.Events["tlh_hint"] != 1 {
+		t.Fatalf("summary events = %v", s.Events)
+	}
+	if _, ok := s.Events["qbs_query"]; ok {
+		t.Error("zero-count event present in summary")
+	}
+	if s.QBSQueryDepth != nil || s.ECIRescueDistance != nil {
+		t.Error("empty histograms present in summary")
+	}
+}
+
+func TestRecorderECIRescueDistance(t *testing.T) {
+	r := NewRecorder()
+	r.ECIInvalidate(0xA00) // seq 1
+	r.ECIInvalidate(0xB00) // seq 2
+	r.ECIInvalidate(0xC00) // seq 3
+	r.ECIRescue(0xA00)     // distance 3-1 = 2
+	r.ECIRescue(0xC00)     // distance 0
+	r.ECIRescue(0xD00)     // never invalidated: counted, not histogrammed
+	s := r.Summary()
+	if s.Events["eci_invalidate"] != 3 || s.Events["eci_rescue"] != 3 {
+		t.Fatalf("events = %v", s.Events)
+	}
+	h := s.ECIRescueDistance
+	if h == nil || h.Count != 2 || h.Sum != 2 || h.Max != 2 {
+		t.Fatalf("rescue distance = %+v", h)
+	}
+}
+
+func TestRecorderQBSChains(t *testing.T) {
+	r := NewRecorder()
+	// Chain 1: save at depth 1, save at depth 2, unsaved at depth 3.
+	r.QBSQuery(0x1, 1, true)
+	r.QBSQuery(0x2, 2, true)
+	r.QBSQuery(0x3, 3, false)
+	// Chain 2: single unsaved query.
+	r.QBSQuery(0x4, 1, false)
+	// Chain 3: ends on a save (query limit); closed by the next chain.
+	r.QBSQuery(0x5, 1, true)
+	r.QBSQuery(0x6, 2, true)
+	// Chain 4: open at Summary time; Summary closes it.
+	r.QBSQuery(0x7, 1, true)
+	s := r.Summary()
+	if s.Events["qbs_query"] != 7 || s.Events["qbs_save"] != 5 {
+		t.Fatalf("events = %v", s.Events)
+	}
+	h := s.QBSQueryDepth
+	if h == nil || h.Count != 4 {
+		t.Fatalf("depth histogram = %+v", h)
+	}
+	if h.Sum != 3+1+2+1 {
+		t.Errorf("depth sum = %d, want 7", h.Sum)
+	}
+}
+
+func TestSamplerDeltas(t *testing.T) {
+	s := NewSampler(1000)
+	if s.Every() != 1000 {
+		t.Fatalf("every = %d", s.Every())
+	}
+	s.Observe(0, 1000, 2000, 10, 3, 0.5)
+	s.Observe(1, 1000, 4000, 50, 0, 0.5)
+	s.Observe(0, 2000, 3000, 15, 7, 0.8)
+	s.Observe(0, 2000, 3000, 15, 7, 0.8) // duplicate flush: ignored
+	got := s.Samples()
+	if len(got) != 3 {
+		t.Fatalf("%d samples", len(got))
+	}
+	first, third := got[0], got[2]
+	if first.Core != 0 || first.Interval != 0 || first.IPC != 0.5 || first.InclusionVictims != 3 {
+		t.Fatalf("first sample = %+v", first)
+	}
+	if third.Interval != 1 || third.DeltaInstructions != 1000 || third.DeltaCycles != 1000 {
+		t.Fatalf("third sample = %+v", third)
+	}
+	if third.IPC != 1.0 || third.InclusionVictims != 4 || third.LLCMPKI != 5 {
+		t.Fatalf("third sample rates = %+v", third)
+	}
+	if third.VictimsPerMinst != 4000 {
+		t.Errorf("victims/Minst = %v", third.VictimsPerMinst)
+	}
+	if s.TotalInclusionVictims() != 7 {
+		t.Errorf("total victims = %d", s.TotalInclusionVictims())
+	}
+}
+
+func TestNewSamplerZeroIsNil(t *testing.T) {
+	if s := NewSampler(0); s != nil {
+		t.Fatal("zero interval did not yield nil sampler")
+	}
+	var s *Sampler
+	if s.Samples() != nil || s.TotalInclusionVictims() != 0 {
+		t.Fatal("nil sampler accessors not safe")
+	}
+}
+
+func TestSamplerWriters(t *testing.T) {
+	s := NewSampler(100)
+	s.Observe(0, 100, 200, 5, 1, 0.25)
+	s.Observe(0, 200, 400, 9, 2, 0.5)
+
+	var csv strings.Builder
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "interval,core,instructions") {
+		t.Fatalf("csv = %q", csv.String())
+	}
+
+	var jsonl strings.Builder
+	if err := s.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	var back Sample
+	if err := json.Unmarshal([]byte(strings.Split(jsonl.String(), "\n")[0]), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Instructions != 100 || back.InclusionVictims != 1 {
+		t.Fatalf("jsonl round-trip = %+v", back)
+	}
+
+	prefix := filepath.Join(t.TempDir(), "sub", "run-intervals")
+	if err := s.WritePair(prefix); err != nil {
+		t.Fatal(err)
+	}
+	for _, ext := range []string{".csv", ".jsonl"} {
+		if b, err := os.ReadFile(prefix + ext); err != nil || len(b) == 0 {
+			t.Errorf("%s: %v (%d bytes)", ext, err, len(b))
+		}
+	}
+}
+
+func TestJobDoneAndServeDebug(t *testing.T) {
+	beforeJobs, beforeInstr := JobsCompleted(), InstructionsSimulated()
+	JobDone(12345)
+	if JobsCompleted() != beforeJobs+1 || InstructionsSimulated() != beforeInstr+12345 {
+		t.Fatalf("JobDone counters: jobs %d->%d instr %d->%d",
+			beforeJobs, JobsCompleted(), beforeInstr, InstructionsSimulated())
+	}
+
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	vars := get("/debug/vars")
+	for _, want := range []string{"tla_jobs_completed", "tla_instructions_simulated", "tla_probe_events", "tla_events_per_second"} {
+		if !strings.Contains(vars, want) {
+			t.Errorf("/debug/vars missing %s", want)
+		}
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "profile") {
+		t.Errorf("/debug/pprof/ index unexpected: %.80s", body)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	seen := map[string]bool{}
+	for e := Event(0); e < numEvents; e++ {
+		name := e.String()
+		if name == "" || strings.HasPrefix(name, "event(") || seen[name] {
+			t.Fatalf("event %d name %q", e, name)
+		}
+		seen[name] = true
+	}
+	if got := Event(200).String(); got != fmt.Sprintf("event(%d)", 200) {
+		t.Errorf("unknown event = %q", got)
+	}
+}
