@@ -59,6 +59,8 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers when comparing policies (0 = one per CPU)")
 	noPrefetch := flag.Bool("no-prefetch", false, "disable the stream prefetcher")
 	listBench := flag.Bool("list", false, "list benchmarks and mixes, then exit")
+	audit := flag.Uint64("audit", 0,
+		"run a full hierarchy audit (invariants, cache consistency, counter conservation) every N measured instructions (0 = off)")
 	interval := flag.Uint64("interval", 0,
 		"sample per-core IPC/MPKI/inclusion-victim time series every N instructions (0 = off)")
 	telemetryOut := flag.String("telemetry-out", "tlasim-intervals",
@@ -138,6 +140,7 @@ func main() {
 	baseCfg.Instructions = *n
 	baseCfg.Warmup = *w
 	baseCfg.Seed = *seed
+	baseCfg.AuditEvery = *audit
 	baseCfg.Hierarchy.EnablePrefetch = !*noPrefetch
 	if *llc != "" {
 		size, err := cli.ParseSize(*llc)
@@ -172,6 +175,10 @@ func main() {
 				if *interval > 0 {
 					out.Sampler = telemetry.NewSampler(*interval)
 					cfg.Sampler = out.Sampler
+				}
+				// The audit mode needs a recorder attached so its
+				// probe/traffic cross-checks have counts to compare.
+				if *interval > 0 || *audit > 0 {
 					rec := telemetry.NewRecorder()
 					cfg.Probe = rec
 					defer func() {

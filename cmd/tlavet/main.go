@@ -1,0 +1,180 @@
+// Command tlavet is the TLA simulator's domain-aware static analyzer.
+// It loads the module with the standard library's go/parser and
+// go/types (no external dependencies) and runs checks for properties
+// the type system cannot express but the paper's results depend on:
+//
+//	nondeterminism     no time.Now / math/rand / state-mutating map
+//	                   iteration in simulation packages
+//	probeguard         telemetry probe calls dominated by nil checks
+//	panicmsg           package-prefixed panics, no bare panic(err)
+//	counterdiscipline  Traffic/Recorder counters only ever incremented
+//	floatcmp           no ==/!= on floats in metrics/experiments
+//
+// Usage:
+//
+//	tlavet ./...                 # analyze the whole module
+//	tlavet ./internal/...        # restrict to a subtree
+//	tlavet -checks panicmsg ./...
+//	tlavet -json ./...           # findings as a JSON array on stdout
+//	tlavet -out findings.json ./...  # text to stdout, JSON to a file
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on usage
+// or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tlacache/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tlavet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	outFile := fs.String("out", "", "also write findings as JSON to this file")
+	checks := fs.String("checks", "all", "comma-separated checks to run")
+	list := fs.Bool("list", false, "list available checks and exit")
+	dir := fs.String("C", ".", "directory to locate the module from")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers, err := analysis.Select(*checks)
+	if err != nil {
+		fmt.Fprintln(stderr, "tlavet:", err)
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	root, err := findModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "tlavet:", err)
+		return 2
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "tlavet:", err)
+		return 2
+	}
+
+	filter, err := patternFilter(mod.Path, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "tlavet:", err)
+		return 2
+	}
+	diags := analysis.RunModule(mod, analyzers, filter)
+
+	if *outFile != "" {
+		if err := writeJSON(*outFile, diags); err != nil {
+			fmt.Fprintln(stderr, "tlavet:", err)
+			return 2
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "tlavet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(stderr, "tlavet: %d finding(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// patternFilter turns `./...`-style package patterns into an import
+// path predicate. No patterns (or any `./...`) selects everything.
+func patternFilter(modPath string, patterns []string) (func(string) bool, error) {
+	if len(patterns) == 0 {
+		return nil, nil
+	}
+	var prefixes []string
+	for _, p := range patterns {
+		switch {
+		case p == "./..." || p == "..." || p == "all":
+			return nil, nil
+		case strings.HasPrefix(p, "./"):
+			p = strings.TrimPrefix(p, "./")
+			fallthrough
+		default:
+			p = strings.TrimSuffix(p, "...")
+			p = strings.TrimSuffix(p, "/")
+			if p == "" {
+				return nil, nil
+			}
+			prefixes = append(prefixes, modPath+"/"+p)
+		}
+	}
+	return func(pkgPath string) bool {
+		for _, pre := range prefixes {
+			if pkgPath == pre || strings.HasPrefix(pkgPath, pre+"/") || strings.HasPrefix(pkgPath, pre) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+// writeJSON writes diags as an indented JSON array to path.
+func writeJSON(path string, diags []analysis.Diagnostic) error {
+	if diags == nil {
+		diags = []analysis.Diagnostic{}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(diags); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tlacache/internal/analysis"
+)
+
+// writeBadModule lays out a throwaway module whose single internal
+// package carries one known violation per analyzer that applies to it.
+func writeBadModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module badmod\n\ngo 1.22\n",
+		// Line numbers matter: the test below pins panic(err) to line 6.
+		"internal/widget/widget.go": `package widget
+
+// Explode re-throws a bare error, which panicmsg forbids.
+func Explode(err error) {
+	if err != nil {
+		panic(err)
+	}
+	panic("no prefix here")
+}
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestRunFlagsFindings drives the real CLI entry point against a bad
+// module: exit status 1, and the JSON findings carry the expected
+// analyzer, file, and line.
+func TestRunFlagsFindings(t *testing.T) {
+	dir := writeBadModule(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("decoding findings: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(diags), diags)
+	}
+	want := filepath.Join("internal", "widget", "widget.go")
+	bare := diags[0]
+	if bare.Analyzer != "panicmsg" || bare.File != want || bare.Line != 6 {
+		t.Errorf("finding 0 = %s, want panicmsg at %s:6", bare, want)
+	}
+	if !strings.Contains(bare.Message, "bare panic(err)") {
+		t.Errorf("finding 0 message %q does not mention bare panic(err)", bare.Message)
+	}
+	missing := diags[1]
+	if missing.Analyzer != "panicmsg" || missing.File != want || missing.Line != 8 {
+		t.Errorf("finding 1 = %s, want panicmsg at %s:8", missing, want)
+	}
+}
+
+// TestRunCleanModule checks exit 0 and an empty JSON array for a module
+// with nothing to report.
+func TestRunCleanModule(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module okmod\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := "package okmod\n\n// V is fine.\nvar V = 1\n"
+	if err := os.WriteFile(filepath.Join(dir, "ok.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-json", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Fatalf("stdout = %q, want empty JSON array", got)
+	}
+}
+
+// TestRunOutFile checks the -out sidecar used by CI to publish findings.
+func TestRunOutFile(t *testing.T) {
+	dir := writeBadModule(t)
+	outPath := filepath.Join(t.TempDir(), "findings.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-out", outPath, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("reading -out file: %v", err)
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(data, &diags); err != nil {
+		t.Fatalf("decoding -out file: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("-out holds %d findings, want 2", len(diags))
+	}
+	// The text rendering on stdout must agree with the sidecar.
+	if !strings.Contains(stdout.String(), "widget.go:6:") {
+		t.Errorf("stdout %q lacks the widget.go:6 diagnostic", stdout.String())
+	}
+}
+
+// TestRunUnknownCheck pins the usage-error exit code.
+func TestRunUnknownCheck(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-checks", "nosuch", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+}

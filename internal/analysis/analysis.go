@@ -1,0 +1,221 @@
+// Package analysis is tlavet's engine: a standard-library-only static
+// analyzer (go/parser, go/ast, go/types — no x/tools dependency) that
+// loads the module and runs domain-specific checks over the simulator's
+// source. The checks mechanically enforce properties the Go type system
+// cannot see but the paper's results depend on: deterministic replays
+// (nondeterminism), honest low-overhead instrumentation (probeguard),
+// attributable failures (panicmsg), monotone conserved counters
+// (counterdiscipline), and meaningful metric comparisons (floatcmp).
+//
+// The dynamic counterpart — verifying the same properties on a running
+// hierarchy — is internal/hierarchy's audit mode (Auditor), wired to
+// sim.Config.AuditEvery and `tlasim -audit N`.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned for editors (file:line:col).
+type Diagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suggestion string `json:"suggestion,omitempty"`
+}
+
+// String renders the diagnostic in the conventional compiler format.
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+	if d.Suggestion != "" {
+		s += " (" + d.Suggestion + ")"
+	}
+	return s
+}
+
+// Analyzer is one named check. Run inspects a single package through
+// its Pass and reports findings; it must not retain the Pass.
+type Analyzer struct {
+	// Name is the check's identifier, used in diagnostics and -checks.
+	Name string
+	// Doc is a one-line description for `tlavet -list`.
+	Doc string
+	// Run executes the check against pass.Pkg.
+	Run func(pass *Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+	// Root, when non-empty, is the directory diagnostics' file paths are
+	// made relative to.
+	Root  string
+	diags *[]Diagnostic
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, msg, suggestion string) {
+	position := p.Fset.Position(pos)
+	file := position.Filename
+	if p.Root != "" {
+		if rel, err := filepath.Rel(p.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		File:       file,
+		Line:       position.Line,
+		Col:        position.Column,
+		Analyzer:   p.Analyzer.Name,
+		Message:    msg,
+		Suggestion: suggestion,
+	})
+}
+
+// TypeOf returns the static type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Pkg.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.Pkg.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Analyzers returns every registered check in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NondeterminismAnalyzer,
+		ProbeGuardAnalyzer,
+		PanicMsgAnalyzer,
+		CounterDisciplineAnalyzer,
+		FloatCmpAnalyzer,
+	}
+}
+
+// Select resolves a comma-separated -checks list ("" or "all" selects
+// everything) against the registry.
+func Select(list string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if list == "" || list == "all" {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown check %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// RunPackage runs the given analyzers over one loaded package,
+// returning findings sorted by position. root relativises file paths.
+func RunPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, root string) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, Root: root, diags: &diags}
+		a.Run(pass)
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// RunModule runs the given analyzers over every package of m whose
+// import path is accepted by filter (nil accepts all).
+func RunModule(m *Module, analyzers []*Analyzer, filter func(pkgPath string) bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range m.Pkgs {
+		if filter != nil && !filter(pkg.Path) {
+			continue
+		}
+		diags = append(diags, RunPackage(m.Fset, pkg, analyzers, m.Root)...)
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// pathInPackages reports whether pkgPath names one of the listed
+// internal packages, e.g. pathInPackages(p, "cache", "sim") matches
+// ".../internal/cache" and ".../internal/sim" (and their subpackages).
+func pathInPackages(pkgPath string, names ...string) bool {
+	for _, n := range names {
+		seg := "internal/" + n
+		if pkgPath == seg || strings.HasSuffix(pkgPath, "/"+seg) ||
+			strings.Contains(pkgPath, "/"+seg+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// walkWithStack traverses every file of pkg keeping an ancestor stack;
+// fn receives each node with stack holding its ancestors, outermost
+// first (stack excludes n itself).
+func walkWithStack(pkg *Package, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			fn(n, stack)
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// enclosingFunc returns the innermost function declaration or literal
+// in the ancestor stack, with its name ("" for a literal).
+func enclosingFunc(stack []ast.Node) (node ast.Node, name string) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			return fn, ""
+		case *ast.FuncDecl:
+			return fn, fn.Name.Name
+		}
+	}
+	return nil, ""
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureCases maps each analyzer to its golden-fixture directory and
+// the import path that places the fixture inside the analyzer's scope.
+var fixtureCases = []struct {
+	analyzer *Analyzer
+	dir      string
+	path     string
+}{
+	{NondeterminismAnalyzer, "nondeterminism", "tlacache/internal/sim"},
+	{ProbeGuardAnalyzer, "probeguard", "tlacache/internal/telemetry"},
+	{PanicMsgAnalyzer, "panicmsg", "tlacache/internal/widget"},
+	{CounterDisciplineAnalyzer, "counterdiscipline", "tlacache/internal/flux"},
+	{FloatCmpAnalyzer, "floatcmp", "tlacache/internal/metrics"},
+}
+
+// TestGoldenFixtures checks every analyzer against its fixture: each
+// `// want` comment must be matched by a diagnostic on that exact
+// file:line, and no diagnostic may appear without a matching want.
+func TestGoldenFixtures(t *testing.T) {
+	for _, tc := range fixtureCases {
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			pkg, err := LoadDir(filepath.Join("testdata", tc.dir), tc.path)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			diags := RunPackage(pkg.Fset, pkg, []*Analyzer{tc.analyzer}, "")
+			if len(diags) == 0 {
+				t.Fatal("fixture produced no diagnostics")
+			}
+			checkWants(t, pkg, diags)
+		})
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// wantPattern extracts the backtick-quoted regexps of one want comment.
+var wantPattern = regexp.MustCompile("`([^`]+)`")
+
+// collectWants parses the fixture's `// want `regexp“ comments into
+// per-line expectations.
+func collectWants(t *testing.T, pkg *Package) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[wantKey][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantPattern.FindAllStringSubmatch(text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					key := wantKey{pos.Filename, pos.Line}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatal("fixture has no want comments")
+	}
+	return wants
+}
+
+// checkWants matches diagnostics against expectations both ways:
+// every diagnostic needs a want on its line, every want needs a
+// diagnostic matching its pattern.
+func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		key := wantKey{d.File, d.Line}
+		matched := false
+		for i, re := range wants[key] {
+			if re != nil && re.MatchString(d.Message) {
+				wants[key][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s:%d: no diagnostic matching `%s`", key.file, key.line, re)
+			}
+		}
+	}
+}
+
+// TestRepoIsClean is the self-hosting check: the analyzers must accept
+// the repository they guard, so the in-tree sources carry zero
+// findings. Skipped in -short mode (a full module load costs seconds).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full-module load in -short mode")
+	}
+	m, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(m.Pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; module walk looks broken", len(m.Pkgs))
+	}
+	for _, d := range RunModule(m, Analyzers(), nil) {
+		t.Errorf("in-tree finding: %s", d)
+	}
+}
+
+// TestSelect exercises the -checks resolver.
+func TestSelect(t *testing.T) {
+	all, err := Select("all")
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Fatalf("Select(all) = %d analyzers, err %v", len(all), err)
+	}
+	two, err := Select("panicmsg, floatcmp")
+	if err != nil || len(two) != 2 || two[0].Name != "panicmsg" || two[1].Name != "floatcmp" {
+		t.Fatalf("Select(panicmsg, floatcmp) = %v, err %v", two, err)
+	}
+	if _, err := Select("nosuchcheck"); err == nil {
+		t.Fatal("Select(nosuchcheck) did not error")
+	}
+}
+
+// TestDiagnosticString pins the compiler-style rendering.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "a/b.go", Line: 3, Col: 7, Analyzer: "panicmsg", Message: "m", Suggestion: "s"}
+	if got, want := d.String(), "a/b.go:3:7: panicmsg: m (s)"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

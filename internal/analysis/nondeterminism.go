@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// NondeterminismAnalyzer guards the simulator's bit-reproducibility:
+// trace-driven runs (CMP$im-style) must produce identical results for
+// identical (config, seed) inputs, so the simulation packages may not
+// consult wall clocks or global random sources, and may not mutate
+// simulation state (or append to output) in map iteration order.
+var NondeterminismAnalyzer = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "forbid time.Now, math/rand, and state-mutating map iteration in simulation packages",
+	Run:  runNondeterminism,
+}
+
+// nondetPackages lists the internal packages whose behaviour must be a
+// pure function of (configuration, seed).
+var nondetPackages = []string{"cache", "hierarchy", "sim", "replacement", "cpu", "trace"}
+
+func runNondeterminism(pass *Pass) {
+	if !pathInPackages(pass.Pkg.Path, nondetPackages...) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Report(imp.Pos(),
+					"import of "+path+" in a simulation package: global sources are unseeded and not reproducible",
+					"use the repository's deterministic xorshift rng (internal/trace) seeded from the run config")
+			}
+		}
+	}
+	walkWithStack(pass.Pkg, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if isPackageFunc(pass, n, "time", "Now") {
+				pass.Report(n.Pos(),
+					"time.Now in a simulation package makes runs irreproducible",
+					"derive timing from the simulated clock, or accept a timestamp from the caller")
+			}
+		case *ast.RangeStmt:
+			checkMapRange(pass, n)
+		}
+	})
+}
+
+// isPackageFunc reports whether sel is a use of pkgName.funcName where
+// pkgName resolves to the package import (not a local variable).
+func isPackageFunc(pass *Pass, sel *ast.SelectorExpr, pkgPath, funcName string) bool {
+	if sel.Sel.Name != funcName {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if obj, ok := pass.Pkg.Info.Uses[id]; ok {
+		pn, ok := obj.(*types.PkgName)
+		return ok && pn.Imported().Path() == pkgPath
+	}
+	// Without type info, fall back to the conventional package name.
+	return id.Name == pkgPath
+}
+
+// checkMapRange flags `for range m` over a map whose body mutates
+// non-local state or appends to a slice: the iteration order is
+// randomised by the runtime, so such loops produce run-to-run
+// different simulation results.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	var why string
+	var at ast.Node
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if isStateExpr(lhs) {
+					why, at = "mutates shared state", n
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if isStateExpr(n.X) {
+				why, at = "mutates shared state", n
+				return false
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				why, at = "appends to output", n
+				return false
+			}
+		}
+		return true
+	})
+	if why != "" {
+		pass.Report(at.Pos(),
+			"map iteration order is nondeterministic and this loop body "+why,
+			"iterate over sorted keys, or restructure to an order-independent form")
+	}
+}
+
+// isStateExpr reports whether e writes through a selector, index, or
+// pointer dereference — i.e. to state that outlives the loop iteration.
+func isStateExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return isStateExpr(e.X)
+	}
+	return false
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// PanicMsgAnalyzer makes simulator failures attributable: a panic that
+// escapes a multi-hour sweep must say which subsystem gave up and why,
+// so panics in internal/ packages must carry a message prefixed with
+// the package name ("cache: ...") and may never re-throw a bare error
+// value (panic(err)) that loses that context.
+var PanicMsgAnalyzer = &Analyzer{
+	Name: "panicmsg",
+	Doc:  "panics in internal/ must carry a package-prefixed message, never a bare panic(err)",
+	Run:  runPanicMsg,
+}
+
+func runPanicMsg(pass *Pass) {
+	if !strings.Contains(pass.Pkg.Path+"/", "internal/") {
+		return
+	}
+	prefix := pass.Pkg.Name + ":"
+	walkWithStack(pass.Pkg, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return
+		}
+		if obj, recorded := pass.Pkg.Info.Uses[id]; recorded && obj != types.Universe.Lookup("panic") {
+			return // a shadowing local function named panic
+		}
+		arg := call.Args[0]
+		if panicMsgOK(pass, arg, prefix) {
+			return
+		}
+		if isErrorValue(pass, arg) {
+			pass.Report(call.Pos(),
+				"bare panic(err) loses the failing subsystem",
+				`wrap it: panic(fmt.Sprintf("`+prefix+` <context>: %v", err)) or return the error`)
+			return
+		}
+		pass.Report(call.Pos(),
+			`panic message must carry the "`+prefix+`" package prefix`,
+			`start the message with "`+prefix+` "`)
+	})
+}
+
+// panicMsgOK reports whether the panic argument statically carries the
+// package prefix: a string literal, a fmt.Sprintf/Errorf whose format
+// starts with the prefix, or a concatenation whose leftmost operand is
+// such a literal.
+func panicMsgOK(pass *Pass, arg ast.Expr, prefix string) bool {
+	switch arg := arg.(type) {
+	case *ast.BasicLit:
+		if s, err := strconv.Unquote(arg.Value); err == nil {
+			return strings.HasPrefix(s, prefix)
+		}
+	case *ast.CallExpr:
+		if sel, ok := arg.Fun.(*ast.SelectorExpr); ok && len(arg.Args) > 0 {
+			if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "fmt" &&
+				(sel.Sel.Name == "Sprintf" || sel.Sel.Name == "Errorf") {
+				return panicMsgOK(pass, arg.Args[0], prefix)
+			}
+		}
+	case *ast.BinaryExpr:
+		return panicMsgOK(pass, arg.X, prefix)
+	case *ast.ParenExpr:
+		return panicMsgOK(pass, arg.X, prefix)
+	}
+	return false
+}
+
+// isErrorValue reports whether e's static type is the error interface.
+func isErrorValue(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "err"
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

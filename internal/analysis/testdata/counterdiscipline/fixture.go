@@ -1,0 +1,53 @@
+// Package flux is a golden fixture for the counterdiscipline analyzer:
+// uint64 (and array-of-uint64) fields of types named Traffic or
+// Recorder are event counters and may only grow outside Reset.
+package flux
+
+// Traffic mirrors the simulator's event-counter struct shape.
+type Traffic struct {
+	Hits   uint64
+	Misses uint64
+	Label  string
+}
+
+// Recorder mirrors the telemetry recorder: an array of counters plus
+// non-counter bookkeeping.
+type Recorder struct {
+	counts [4]uint64
+	open   int
+}
+
+// Hierarchy embeds a Traffic block the way the simulator does.
+type Hierarchy struct {
+	Traffic Traffic
+}
+
+// Observe shows the allowed writes: increments, add-assigns, and
+// assignments to non-counter fields.
+func Observe(t *Traffic, r *Recorder) {
+	t.Hits++
+	t.Misses += 2
+	r.counts[1]++
+	r.open = 3
+	t.Label = "warm"
+}
+
+// Corrupt shows every forbidden shape.
+func Corrupt(t *Traffic, r *Recorder) {
+	t.Hits = 0      // want `counter Traffic\.Hits modified with = outside Reset`
+	t.Misses--      // want `counter Traffic\.Misses modified with -- outside Reset`
+	t.Hits -= 1     // want `counter Traffic\.Hits modified with -= outside Reset`
+	r.counts[2] = 9 // want `counter Recorder\.counts modified with = outside Reset`
+}
+
+// Reset may zero counters: it is the sanctioned reset point.
+func (t *Traffic) Reset() {
+	t.Hits = 0
+	t.Misses = 0
+}
+
+// Swap replaces the whole block, which stays legal: the assignment
+// names the struct, not a counter field.
+func (h *Hierarchy) Swap() {
+	h.Traffic = Traffic{}
+}

@@ -1,0 +1,17 @@
+// Package metrics is a golden fixture for the floatcmp analyzer. Its
+// import path places it in the metric-pipeline scope, where == and !=
+// on floats are forbidden.
+package metrics
+
+// GapClosed compares accumulated IPC results the forbidden way.
+func GapClosed(base, policy float64) bool {
+	if base == policy { // want `floating-point == comparison`
+		return false
+	}
+	return policy != 0 // want `floating-point != comparison`
+}
+
+// Allowed comparisons: ordering on floats and equality on integers.
+func Allowed(a, b float64, hits, misses uint64) bool {
+	return a < b || hits == misses
+}

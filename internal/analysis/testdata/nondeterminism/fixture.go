@@ -1,0 +1,55 @@
+// Package sim is a golden fixture for the nondeterminism analyzer. Its
+// import path ("tlacache/internal/sim") places it inside the
+// simulation-package scope, so every reproducibility hazard below must
+// be reported at the marked line.
+package sim
+
+import (
+	"math/rand" // want `import of math/rand in a simulation package`
+	"time"
+)
+
+// State stands in for simulator state that outlives a loop iteration.
+type State struct {
+	Total  uint64
+	ByAddr map[uint64]uint64
+}
+
+// Stamp consults the wall clock, which a trace replay must never do.
+func Stamp(s *State) int64 {
+	s.Total += uint64(rand.Intn(8))
+	return time.Now().UnixNano() // want `time\.Now in a simulation package`
+}
+
+// Merge writes state that outlives the loop in map iteration order.
+func (s *State) Merge(m map[uint64]uint64) {
+	for _, v := range m {
+		s.Total += v // want `map iteration order is nondeterministic and this loop body mutates shared state`
+	}
+}
+
+// Keys builds output in map iteration order.
+func Keys(m map[uint64]uint64) []uint64 {
+	var out []uint64
+	for k := range m {
+		out = append(out, k) // want `map iteration order is nondeterministic and this loop body appends to output`
+	}
+	return out
+}
+
+// Count is allowed: the loop only advances an iteration-local scalar,
+// so the result is independent of iteration order.
+func Count(m map[uint64]uint64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// SumSlice is allowed: slices iterate in index order.
+func SumSlice(vs []uint64, s *State) {
+	for _, v := range vs {
+		s.Total += v
+	}
+}

@@ -1,0 +1,42 @@
+// Package widget is a golden fixture for the panicmsg analyzer. Its
+// import path contains "internal/", so every panic must carry the
+// "widget:" package prefix and bare panic(err) is forbidden.
+package widget
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is a reusable failure value for the bare-panic cases.
+var ErrBad = errors.New("widget: bad")
+
+// Prefixed panics are accepted in every static shape the analyzer
+// recognises: literal, Sprintf, concatenation, and Errorf.
+func Prefixed(n int, err error) {
+	switch n {
+	case 1:
+		panic("widget: literal message")
+	case 2:
+		panic(fmt.Sprintf("widget: n=%d", n))
+	case 3:
+		panic("widget: wrapped: " + err.Error())
+	default:
+		panic(fmt.Errorf("widget: %w", err))
+	}
+}
+
+// Unprefixed panics lose the subsystem name.
+func Unprefixed(n int) {
+	if n == 1 {
+		panic("boom") // want `panic message must carry the .widget:. package prefix`
+	}
+	panic(fmt.Sprintf("n=%d", n)) // want `panic message must carry the .widget:. package prefix`
+}
+
+// Bare re-throws an error value with no context at all.
+func Bare(err error) {
+	if err != nil {
+		panic(err) // want `bare panic\(err\) loses the failing subsystem`
+	}
+}

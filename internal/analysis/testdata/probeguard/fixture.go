@@ -1,0 +1,60 @@
+// Package telemetry is a golden fixture for the probeguard analyzer.
+// Its import path ends in "telemetry", so the local Probe interface
+// counts as the telemetry probe type the analyzer protects.
+package telemetry
+
+// Probe is the fixture's stand-in for the event-probe interface.
+type Probe interface {
+	Hit(addr uint64)
+	Miss(addr uint64)
+}
+
+// Hierarchy owns an optional probe, nil when telemetry is off.
+type Hierarchy struct {
+	probe Probe
+	hot   bool
+}
+
+// Guarded shows the canonical accepted shapes: a plain nil check and a
+// compound condition reached through &&.
+func (h *Hierarchy) Guarded(addr uint64) {
+	if h.probe != nil {
+		h.probe.Hit(addr)
+	}
+	if h.probe != nil && h.hot {
+		h.probe.Miss(addr)
+	}
+}
+
+// EarlyReturn is accepted: the nil case exits the block first.
+func (h *Hierarchy) EarlyReturn(addr uint64) {
+	if h.probe == nil {
+		return
+	}
+	h.probe.Hit(addr)
+}
+
+// Unguarded fires the probe with no dominating nil check.
+func (h *Hierarchy) Unguarded(addr uint64) {
+	h.probe.Hit(addr) // want `h\.probe\.Hit called without a dominating nil check`
+}
+
+// WrongBranch checks the probe but calls it outside the guarded body.
+func (h *Hierarchy) WrongBranch(addr uint64) {
+	if h.probe != nil {
+		h.hot = true
+	}
+	h.probe.Miss(addr) // want `h\.probe\.Miss called without a dominating nil check`
+}
+
+// Closure is flagged: a guard outside a function literal does not
+// dominate calls inside it (the literal may run after the probe is
+// cleared).
+func (h *Hierarchy) Closure(addr uint64) func() {
+	if h.probe == nil {
+		return nil
+	}
+	return func() {
+		h.probe.Hit(addr) // want `h\.probe\.Hit called without a dominating nil check`
+	}
+}

@@ -98,7 +98,7 @@ func New(cfg Config) (*Cache, error) {
 func MustNew(cfg Config) *Cache {
 	c, err := New(cfg)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("cache: MustNew: %v", err))
 	}
 	return c
 }

@@ -1,0 +1,46 @@
+package cache
+
+import (
+	"fmt"
+
+	"tlacache/internal/replacement"
+)
+
+// CheckConsistency verifies the cache's structural self-consistency:
+// every valid line is aligned and stored in its home set, no set holds
+// the same line twice, and — when the replacement policy implements
+// replacement.Checker — the per-set replacement metadata is
+// well-formed. The audit mode (internal/hierarchy's Auditor) calls
+// this for every cache in the hierarchy; it is O(lines x assoc).
+func (c *Cache) CheckConsistency() error {
+	checker, _ := c.policy.(replacement.Checker)
+	for s := range c.sets {
+		ways := c.sets[s]
+		for w := range ways {
+			l := ways[w]
+			if !l.Valid {
+				continue
+			}
+			if l.Addr != c.LineAddr(l.Addr) {
+				return fmt.Errorf("cache %s: set %d way %d holds unaligned address %#x",
+					c.cfg.Name, s, w, l.Addr)
+			}
+			if home := c.SetIndex(l.Addr); home != s {
+				return fmt.Errorf("cache %s: line %#x stored in set %d but maps to set %d",
+					c.cfg.Name, l.Addr, s, home)
+			}
+			for v := 0; v < w; v++ {
+				if ways[v].Valid && ways[v].Addr == l.Addr {
+					return fmt.Errorf("cache %s: line %#x duplicated in set %d (ways %d and %d)",
+						c.cfg.Name, l.Addr, s, v, w)
+				}
+			}
+		}
+		if checker != nil {
+			if err := checker.CheckSet(s); err != nil {
+				return fmt.Errorf("cache %s: %w", c.cfg.Name, err)
+			}
+		}
+	}
+	return nil
+}

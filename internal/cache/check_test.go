@@ -1,0 +1,50 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+
+	"tlacache/internal/replacement"
+)
+
+// TestCheckConsistencyClean fills a cache through the public API and
+// expects no findings: legitimate operation cannot trip the checker.
+func TestCheckConsistencyClean(t *testing.T) {
+	for _, pol := range []replacement.Kind{replacement.LRU, replacement.NRU, replacement.SRRIP} {
+		c := tiny(t, 1024, 4, pol)
+		for addr := uint64(0); addr < 4096; addr += 64 {
+			c.Fill(addr, 0)
+			c.Touch(addr / 2 * 2)
+		}
+		if err := c.CheckConsistency(); err != nil {
+			t.Errorf("%v: %v", pol, err)
+		}
+	}
+}
+
+// TestCheckConsistencyDuplicate plants one address in two ways of the
+// same set via FillWay, the low-level entry a buggy caller could
+// misuse.
+func TestCheckConsistencyDuplicate(t *testing.T) {
+	c := tiny(t, 512, 2, replacement.LRU)
+	c.FillWay(0, 0, 0, 0)
+	c.FillWay(0, 1, 0, 0)
+	err := c.CheckConsistency()
+	if err == nil || !strings.Contains(err.Error(), "duplicated") {
+		t.Fatalf("duplicate line not reported: %v", err)
+	}
+}
+
+// TestCheckConsistencyMisplaced plants a line in a set its address
+// does not map to.
+func TestCheckConsistencyMisplaced(t *testing.T) {
+	c := tiny(t, 512, 2, replacement.LRU)
+	if c.SetIndex(64) == 0 {
+		t.Fatal("test needs address 64 to map outside set 0")
+	}
+	c.FillWay(0, 0, 64, 0)
+	err := c.CheckConsistency()
+	if err == nil || !strings.Contains(err.Error(), "maps to set") {
+		t.Fatalf("misplaced line not reported: %v", err)
+	}
+}

@@ -87,7 +87,7 @@ func New(cfg Config) (*Core, error) {
 func MustNew(cfg Config) *Core {
 	c, err := New(cfg)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("cpu: MustNew: %v", err))
 	}
 	return c
 }

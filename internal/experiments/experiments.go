@@ -274,7 +274,7 @@ func runMatrix(o Options, cores int, mixes []workload.Mix, specs []Spec, mutate 
 // normThroughput returns results[i][j].Throughput normalised to spec 0.
 func (m *matrix) normThroughput(i, j int) float64 {
 	base := m.results[i][0].Throughput
-	if base == 0 {
+	if base <= 0 {
 		return 0
 	}
 	return m.results[i][j].Throughput / base

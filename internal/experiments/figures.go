@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	"tlacache/internal/hierarchy"
@@ -614,7 +615,7 @@ func Fairness(o Options) ([]Table, error) {
 		if err != nil {
 			return 0, err
 		}
-		if b == 0 {
+		if math.Abs(b) < 1e-12 {
 			return 0, fmt.Errorf("experiments: zero baseline metric")
 		}
 		return v / b, nil

@@ -1,0 +1,56 @@
+package hierarchy
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"tlacache/internal/telemetry"
+)
+
+// FuzzHierarchyAccess drives a hierarchy with an arbitrary access
+// stream under a fuzzer-chosen machine mode and audits continuously:
+// no input sequence may ever corrupt inclusion, cache structure, or
+// counter accounting.
+func FuzzHierarchyAccess(f *testing.F) {
+	seed := make([]byte, 64)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	for mode := byte(0); mode < 6; mode++ {
+		f.Add(seed, mode)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, mode byte) {
+		cfg := smallConfig(2)
+		switch mode % 6 {
+		case 1:
+			cfg.TLA = TLATLH
+		case 2:
+			cfg.TLA = TLAECI
+		case 3:
+			cfg.TLA = TLAQBS
+		case 4:
+			cfg.Inclusion = NonInclusive
+		case 5:
+			cfg.Inclusion = Exclusive
+		}
+		cfg.EnablePrefetch = mode&0x40 != 0
+		h := MustNew(cfg)
+		rec := telemetry.NewRecorder()
+		h.SetProbe(rec)
+		a := NewAuditor(h)
+
+		for i := 0; i+4 <= len(data); i += 4 {
+			op := binary.LittleEndian.Uint32(data[i:])
+			h.Access(int(op%2), AccessKind(op>>2)%3, uint64(op>>4)%(64<<10))
+			if i%256 == 252 {
+				if err := a.Audit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := a.Audit(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -465,7 +465,7 @@ func New(cfg Config) (*Hierarchy, error) {
 func MustNew(cfg Config) *Hierarchy {
 	h, err := New(cfg)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("hierarchy: MustNew: %v", err))
 	}
 	return h
 }

@@ -2,8 +2,10 @@ package hierarchy
 
 import (
 	"fmt"
+	"reflect"
 
 	"tlacache/internal/cache"
+	"tlacache/internal/telemetry"
 )
 
 // CheckInvariants verifies the structural properties the configured
@@ -76,6 +78,221 @@ func (h *Hierarchy) CheckInvariants() error {
 		}
 	})
 	return err
+}
+
+// Auditor performs deep periodic audits of a running hierarchy: the
+// structural invariants of CheckInvariants, per-cache self-consistency
+// (duplicate lines, set mapping, replacement metadata), counter
+// monotonicity between audits, conservation relations among the
+// traffic counters, and — when the attached probe is a
+// telemetry.Recorder — an exact cross-check of probe event counts
+// against the Traffic counters they mirror. It is the dynamic
+// counterpart of the cmd/tlavet static checks, wired to
+// sim.Config.AuditEvery and `tlasim -audit N`.
+//
+// Create the Auditor at the point the counters' measurement window
+// begins (sim does so right after the warmup reset and probe attach):
+// the baseline snapshot taken then is what conservation deltas are
+// measured against. An Auditor must not be shared between hierarchies.
+type Auditor struct {
+	h    *Hierarchy
+	rec  *telemetry.Recorder // non-nil when the probe is a Recorder
+	base auditSnapshot       // window start, for conservation deltas
+	prev auditSnapshot       // last audit, for monotonicity
+
+	// Audits counts completed Audit calls.
+	Audits uint64
+}
+
+// auditSnapshot freezes every counter the auditor reasons about.
+type auditSnapshot struct {
+	traffic Traffic
+	cores   []CoreStats
+	events  []uint64 // Recorder counts, indexed as telemetry.Events()
+}
+
+// NewAuditor captures h's current counters as the audit baseline.
+func NewAuditor(h *Hierarchy) *Auditor {
+	a := &Auditor{h: h}
+	a.rec, _ = h.probe.(*telemetry.Recorder)
+	a.base = a.snap()
+	a.prev = a.base
+	return a
+}
+
+func (a *Auditor) snap() auditSnapshot {
+	s := auditSnapshot{
+		traffic: a.h.Traffic,
+		cores:   append([]CoreStats(nil), a.h.Cores...),
+	}
+	if a.rec != nil {
+		for _, e := range telemetry.Events() {
+			s.events = append(s.events, a.rec.Count(e))
+		}
+	}
+	return s
+}
+
+// Audit runs every check and, on success, advances the monotonicity
+// snapshot. The first error is returned; the hierarchy is not
+// modified either way.
+func (a *Auditor) Audit() error {
+	if err := a.h.CheckInvariants(); err != nil {
+		return err
+	}
+	if err := a.checkCaches(); err != nil {
+		return err
+	}
+	cur := a.snap()
+	if err := a.checkMonotone(cur); err != nil {
+		return err
+	}
+	if err := a.checkConservation(cur); err != nil {
+		return err
+	}
+	if err := a.checkRecorder(cur); err != nil {
+		return err
+	}
+	a.prev = cur
+	a.Audits++
+	return nil
+}
+
+// checkCaches verifies every cache's structural self-consistency.
+func (a *Auditor) checkCaches() error {
+	h := a.h
+	for c := 0; c < h.cfg.Cores; c++ {
+		for _, cc := range []*cache.Cache{h.l1i[c], h.l1d[c], h.l2[c]} {
+			if err := cc.CheckConsistency(); err != nil {
+				return fmt.Errorf("audit: %w", err)
+			}
+		}
+	}
+	if err := h.llc.CheckConsistency(); err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	return nil
+}
+
+// checkMonotone verifies no counter moved backwards since the last
+// audit: Traffic, per-core stats, and Recorder event counts are all
+// cumulative within a measurement window.
+func (a *Auditor) checkMonotone(cur auditSnapshot) error {
+	if err := monotoneFields("Traffic", reflect.ValueOf(a.prev.traffic), reflect.ValueOf(cur.traffic)); err != nil {
+		return err
+	}
+	for i := range cur.cores {
+		name := fmt.Sprintf("Cores[%d]", i)
+		if err := monotoneFields(name, reflect.ValueOf(a.prev.cores[i]), reflect.ValueOf(cur.cores[i])); err != nil {
+			return err
+		}
+	}
+	for i, e := range telemetry.Events() {
+		if i < len(cur.events) && cur.events[i] < a.prev.events[i] {
+			return fmt.Errorf("audit: probe count %s went backwards: %d -> %d",
+				e, a.prev.events[i], cur.events[i])
+		}
+	}
+	return nil
+}
+
+// monotoneFields recursively compares every uint64 field of two values
+// of the same struct type, erroring when one decreased.
+func monotoneFields(name string, prev, cur reflect.Value) error {
+	switch cur.Kind() {
+	case reflect.Struct:
+		for i := 0; i < cur.NumField(); i++ {
+			field := name + "." + cur.Type().Field(i).Name
+			if err := monotoneFields(field, prev.Field(i), cur.Field(i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Uint64:
+		if cur.Uint() < prev.Uint() {
+			return fmt.Errorf("audit: counter %s went backwards: %d -> %d", name, prev.Uint(), cur.Uint())
+		}
+	}
+	return nil
+}
+
+// checkConservation verifies the arithmetic relations the traffic
+// counters must satisfy over the window since the baseline: an event
+// that is a subset of another cannot outnumber it.
+func (a *Auditor) checkConservation(cur auditSnapshot) error {
+	t, base := cur.traffic, a.base.traffic
+	type relation struct {
+		name     string
+		sub, sup uint64
+	}
+	victims := sumInclusionVictims(cur.cores) - sumInclusionVictims(a.base.cores)
+	rels := []relation{
+		// Every core that loses lines to a back-invalidation received
+		// at least one back-invalidate message.
+		{"inclusion victims vs back-invalidates", victims, t.BackInvalidates - base.BackInvalidates},
+		{"QBS saves vs queries", t.QBSSaves - base.QBSSaves, t.QBSQueries - base.QBSQueries},
+		{"L2 QBS saves vs queries", t.L2QBSSaves - base.L2QBSSaves, t.L2QBSQueries - base.L2QBSQueries},
+		// One ECI operation can invalidate at most one copy per core.
+		{"ECI invalidations vs sent", t.ECIInvalidated - base.ECIInvalidated,
+			(t.ECISent - base.ECISent) * uint64(a.h.cfg.Cores)},
+		{"prefetch fills vs issued", t.PrefetchFills - base.PrefetchFills,
+			t.PrefetchIssued - base.PrefetchIssued},
+	}
+	for _, r := range rels {
+		if r.sub > r.sup {
+			return fmt.Errorf("audit: conservation violated: %s: %d > %d", r.name, r.sub, r.sup)
+		}
+	}
+	return nil
+}
+
+// checkRecorder cross-checks probe event counts against the Traffic
+// counters incremented at the same fire sites. The check only runs
+// while the recorder the auditor was created with is still attached:
+// the two countings must cover the same window to be comparable.
+func (a *Auditor) checkRecorder(cur auditSnapshot) error {
+	if a.rec == nil || a.h.probe != telemetry.Probe(a.rec) {
+		return nil
+	}
+	t, base := cur.traffic, a.base.traffic
+	delta := func(e telemetry.Event) uint64 {
+		return cur.events[e] - a.base.events[e]
+	}
+	pairs := []struct {
+		name    string
+		traffic uint64
+		event   telemetry.Event
+	}{
+		{"back-invalidates", t.BackInvalidates - base.BackInvalidates, telemetry.EvBackInvalidate},
+		{"inclusion victims", sumInclusionVictims(cur.cores) - sumInclusionVictims(a.base.cores), telemetry.EvInclusionVictim},
+		{"L2 inclusion victims", sumL2InclusionVictims(cur.cores) - sumL2InclusionVictims(a.base.cores), telemetry.EvL2InclusionVictim},
+		{"ECI operations", t.ECISent - base.ECISent, telemetry.EvECIInvalidate},
+		{"TLH hints", t.TLHSent - base.TLHSent, telemetry.EvTLHHint},
+		{"QBS queries", t.QBSQueries - base.QBSQueries, telemetry.EvQBSQuery},
+		{"QBS saves", t.QBSSaves - base.QBSSaves, telemetry.EvQBSSave},
+	}
+	for _, p := range pairs {
+		if p.traffic != delta(p.event) {
+			return fmt.Errorf("audit: probe/traffic divergence: %s: traffic counted %d, probe observed %d",
+				p.name, p.traffic, delta(p.event))
+		}
+	}
+	return nil
+}
+
+func sumInclusionVictims(cores []CoreStats) uint64 {
+	var n uint64
+	for i := range cores {
+		n += cores[i].InclusionVictims
+	}
+	return n
+}
+
+func sumL2InclusionVictims(cores []CoreStats) uint64 {
+	var n uint64
+	for i := range cores {
+		n += cores[i].L2InclusionVictims
+	}
+	return n
 }
 
 // TotalInclusionVictims sums inclusion victims across cores.

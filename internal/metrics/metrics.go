@@ -49,7 +49,7 @@ func HmeanFairness(mix, alone []float64) (float64, error) {
 		}
 		sum += alone[i] / mix[i]
 	}
-	if sum == 0 {
+	if sum <= 0 {
 		return 0, fmt.Errorf("metrics: degenerate fairness denominator")
 	}
 	return float64(len(mix)) / sum, nil
@@ -133,7 +133,7 @@ func SCurveBy(vals, keys []float64) ([]float64, error) {
 // non-inclusive caches". Returns 0 when the gap is degenerate.
 func GapBridged(base, policy, target float64) float64 {
 	gap := target - base
-	if gap == 0 {
+	if math.Abs(gap) < 1e-12 {
 		return 0
 	}
 	return (policy - base) / gap

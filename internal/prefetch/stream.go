@@ -81,7 +81,7 @@ func New(cfg Config) (*Streamer, error) {
 func MustNew(cfg Config) *Streamer {
 	s, err := New(cfg)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("prefetch: MustNew: %v", err))
 	}
 	return s
 }

@@ -1,0 +1,52 @@
+package replacement
+
+import "fmt"
+
+// Checker is an optional interface a Policy may implement so the audit
+// mode (internal/hierarchy's Auditor) can verify its per-set metadata
+// is well-formed while a simulation runs.
+type Checker interface {
+	// CheckSet returns an error when set's replacement metadata is
+	// internally inconsistent.
+	CheckSet(set int) error
+}
+
+// CheckSet verifies the LRU recency stack: stack[set] must be a
+// permutation of the ways and pos[set] its exact inverse.
+func (p *lru) CheckSet(set int) error {
+	seen := make([]bool, p.assoc)
+	for i, w := range p.stack[set] {
+		if int(w) >= p.assoc {
+			return fmt.Errorf("replacement: LRU set %d stack[%d] names way %d of %d", set, i, w, p.assoc)
+		}
+		if seen[w] {
+			return fmt.Errorf("replacement: LRU set %d way %d appears twice in the stack", set, w)
+		}
+		seen[w] = true
+		if int(p.pos[set][w]) != i {
+			return fmt.Errorf("replacement: LRU set %d inverse map broken: pos[%d]=%d, want %d",
+				set, w, p.pos[set][w], i)
+		}
+	}
+	return nil
+}
+
+// CheckSet verifies the NRU generation invariant: the live count must
+// equal the number of set reference bits, and a set is never fully
+// referenced (mark starts a new generation instead), so Victim always
+// has a candidate.
+func (p *nru) CheckSet(set int) error {
+	n := 0
+	for _, r := range p.ref[set] {
+		if r {
+			n++
+		}
+	}
+	if n != p.live[set] {
+		return fmt.Errorf("replacement: NRU set %d live count %d but %d reference bits set", set, p.live[set], n)
+	}
+	if p.assoc > 1 && n == p.assoc {
+		return fmt.Errorf("replacement: NRU set %d fully referenced: no victim candidate", set)
+	}
+	return nil
+}

@@ -46,6 +46,14 @@ type Config struct {
 	// a violation. Meant for debugging and the test suite; it is too
 	// expensive for production sweeps.
 	InvariantEvery uint64
+	// AuditEvery, when positive, runs a full hierarchy audit
+	// (hierarchy.Auditor: structural invariants, per-cache consistency,
+	// counter monotonicity and conservation, probe cross-checks) every
+	// AuditEvery committed instructions of the measurement window and
+	// aborts the run on a violation, reporting the seed that reproduces
+	// it. Stronger and costlier than InvariantEvery; exposed as
+	// `tlasim -audit N`.
+	AuditEvery uint64
 	// Probe, when non-nil, receives typed telemetry events (inclusion
 	// victims, back-invalidations, ECI, QBS, TLH) from the hierarchy.
 	// It is attached after the warmup counter reset, so it observes the
@@ -226,6 +234,7 @@ func RunGenerators(cfg Config, streams []trace.Generator) (MixResult, error) {
 	// crossing.
 	var in trace.Instr
 	var total uint64
+	var auditor *hierarchy.Auditor // armed after warmup, when AuditEvery > 0
 	run := func(budget uint64, onBudget func(core int)) error {
 		remaining := n
 		for remaining > 0 {
@@ -257,6 +266,12 @@ func RunGenerators(cfg Config, streams []trace.Generator) (MixResult, error) {
 					return fmt.Errorf("sim: after %d instructions: %w", total, err)
 				}
 			}
+			if auditor != nil && total%cfg.AuditEvery == 0 {
+				if err := auditor.Audit(); err != nil {
+					return fmt.Errorf("sim: after %d instructions (reproduce with -seed %d): %w",
+						total, cfg.Seed, err)
+				}
+			}
 			if !finished[c] && committed[c] == budget {
 				finished[c] = true
 				remaining--
@@ -286,6 +301,12 @@ func RunGenerators(cfg Config, streams []trace.Generator) (MixResult, error) {
 	}
 	h.SetProbe(cfg.Probe)
 	sampler = cfg.Sampler
+	if cfg.AuditEvery > 0 {
+		// The auditor baselines here — right where the counters'
+		// measurement window starts — so its conservation deltas and
+		// probe cross-checks cover exactly the measured traffic.
+		auditor = hierarchy.NewAuditor(h)
+	}
 	if err := run(cfg.Instructions, func(c int) {
 		if sampler != nil {
 			// Flush the final (possibly partial) interval exactly at the

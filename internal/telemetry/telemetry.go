@@ -71,6 +71,17 @@ const (
 	numEvents
 )
 
+// Events lists every probe event kind in declaration order, for code
+// that snapshots or iterates Recorder counters (e.g. the audit mode's
+// counter cross-check).
+func Events() []Event {
+	evs := make([]Event, numEvents)
+	for i := range evs {
+		evs[i] = Event(i)
+	}
+	return evs
+}
+
 // String names the event as it appears in summaries and manifests.
 func (e Event) String() string {
 	switch e {

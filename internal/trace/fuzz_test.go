@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceParse feeds arbitrary bytes to the TLAT1 reader. Whatever
+// prefix of records the reader accepts must survive a write/read
+// round trip unchanged: the writer must accept every record the
+// reader can produce, and re-decoding must reproduce it exactly.
+func FuzzTraceParse(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, in := range []Instr{
+		{PC: 0x400000, Op: OpNone},
+		{PC: 0x400004, Op: OpLoad, Addr: 0x8000},
+		{PC: 0x3ff000, Op: OpStore, Addr: ^uint64(0)},
+	} {
+		if err := w.Write(in); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("TLAT1\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // bad magic: rejecting is the correct outcome
+		}
+		recs, _ := r.ReadAll() // records before any decode error are valid
+
+		var out bytes.Buffer
+		w, err := NewWriter(&out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, in := range recs {
+			if err := w.Write(in); err != nil {
+				t.Fatalf("writer rejected record %d (%+v) the reader produced: %v", i, in, err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		r2, err := NewReader(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading own output: %v", err)
+		}
+		recs2, err := r2.ReadAll()
+		if err != nil {
+			t.Fatalf("re-decoding own output: %v", err)
+		}
+		if len(recs2) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(recs2))
+		}
+		for i := range recs {
+			if recs[i] != recs2[i] {
+				t.Fatalf("record %d changed in round trip: %+v -> %+v", i, recs[i], recs2[i])
+			}
+		}
+	})
+}

@@ -151,7 +151,7 @@ func (g *Synthetic) ComponentBase(i int) uint64 { return g.bases[i] }
 func MustSynthetic(prof Profile, seed uint64) *Synthetic {
 	g, err := NewSynthetic(prof, seed)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("trace: MustSynthetic: %v", err))
 	}
 	return g
 }
