@@ -1,0 +1,51 @@
+package cache
+
+import "testing"
+
+func benchCache(b *testing.B) *Cache {
+	b.Helper()
+	c, err := New(Config{Name: "bench", Size: 32 << 10, Assoc: 8, LineSize: 64, Policy: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkLookupSameLine models the instruction-fetch pattern: many
+// consecutive references to one line (the lookup filter's best case).
+func BenchmarkLookupSameLine(b *testing.B) {
+	c := benchCache(b)
+	c.Fill(0x1000, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := c.Lookup(0x1000 + uint64(i)%64); !ok {
+			b.Fatal("expected hit")
+		}
+	}
+}
+
+// BenchmarkLookupStride models a data stream touching a new line each
+// access (the filter's worst case: every lookup falls through to the
+// set scan).
+func BenchmarkLookupStride(b *testing.B) {
+	c := benchCache(b)
+	const lines = 512
+	for i := 0; i < lines; i++ {
+		c.Fill(uint64(i)*64, 0)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(uint64(i%lines) * 64)
+	}
+}
+
+// BenchmarkFillEvict exercises the fill/evict path with a footprint
+// twice the cache capacity.
+func BenchmarkFillEvict(b *testing.B) {
+	c := benchCache(b)
+	lines := 2 * c.NumSets() * c.Config().Assoc
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Fill(uint64(i%lines)*64, 0)
+	}
+}

@@ -5,6 +5,15 @@
 // temporal-locality hints, query based selection — live in
 // internal/hierarchy, which drives caches through the low-level
 // operations exposed here.
+//
+// Line state is held struct-of-arrays style in flat backing slices
+// indexed set*assoc+way: Probe scans one contiguous row of line
+// addresses, which is the single hottest loop in the simulator. The
+// replacement policy is devirtualized for the three policies every
+// paper configuration uses (LRU, NRU, SRRIP): when the cache's policy
+// is exactly one of those concrete types, hot-path calls go straight to
+// the concrete methods instead of through the Policy interface. Other
+// policies (DIP/DRRIP/Random/...) still work through the interface.
 package cache
 
 import (
@@ -17,13 +26,29 @@ import (
 // Line is one cache line's bookkeeping state. Addr is the line-aligned
 // physical address (we store the full address rather than a tag so that
 // victims and back-invalidations can be expressed in terms of addresses
-// without reconstructing them from set/tag pairs).
+// without reconstructing them from set/tag pairs). Line is the
+// copy-out view the cache returns; internally the same state lives in
+// flat per-field arrays.
 type Line struct {
 	Addr     uint64
 	Valid    bool
 	Dirty    bool
 	Presence uint64 // LLC directory: bit c set => core c may hold the line
 }
+
+// flags bits for the per-line metadata byte. Validity is not a flag:
+// an invalid way holds invalidTag in the tag array (see below), so the
+// lookup scan needs only the tag word.
+const (
+	flagDirty uint8 = 1 << iota
+)
+
+// invalidTag marks an empty way directly in the tag array. Real tags
+// are line-aligned addresses and the line size is at least two bytes,
+// so an odd value can never match a lookup; this lets the hot lookup
+// scan compare tags alone instead of also loading and testing a
+// validity bit per way.
+const invalidTag uint64 = 1
 
 // Config describes a cache's geometry and replacement policy.
 type Config struct {
@@ -48,13 +73,39 @@ type Stats struct {
 // Cache is a set-associative cache. It is not safe for concurrent use;
 // the simulator is single-goroutine by design (determinism).
 type Cache struct {
-	cfg      Config
-	numSets  int
-	offBits  uint
-	setMask  uint64
-	sets     [][]Line
-	policy   replacement.Policy
+	cfg     Config
+	numSets int
+	assoc   int
+	offBits uint
+	setMask uint64
+
+	// Struct-of-arrays line state, indexed set*assoc+way. tags holds
+	// the line-aligned address of a resident line or invalidTag for an
+	// empty way; flags carries the dirty bit and is zero for empty ways.
+	tags     []uint64
+	flags    []uint8
+	presence []uint64 // nil until the first non-zero presence write
+
+	policy replacement.Policy
+	// Devirtualized fast paths: exactly one is non-nil when the policy's
+	// concrete type is the matching one; all nil otherwise (interface
+	// dispatch fallback).
+	lru   *replacement.LRUStack
+	nru   *replacement.NRUBits
+	srrip *replacement.SRRIPTable
+
 	numLines int
+
+	// One-entry lookup filter: the line address, set, and way of the
+	// most recent Lookup hit. Sequential instruction fetch and strided
+	// data streams reference the same line many times in a row, and the
+	// filter turns those repeats into one tag compare instead of a set
+	// scan. Entries are re-verified against the tag array on use, so
+	// the filter never needs invalidating: a displaced or invalidated
+	// line fails verification and falls through to the scan.
+	lastLA  uint64
+	lastSet int32
+	lastWay int32
 
 	Stats Stats
 }
@@ -63,8 +114,8 @@ type Cache struct {
 // inconsistent (sizes not powers of two, capacity not divisible into
 // sets, and so on) so that configuration mistakes surface immediately.
 func New(cfg Config) (*Cache, error) {
-	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
-		return nil, fmt.Errorf("cache %s: line size %d is not a positive power of two", cfg.Name, cfg.LineSize)
+	if cfg.LineSize < 2 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		return nil, fmt.Errorf("cache %s: line size %d is not a power of two >= 2", cfg.Name, cfg.LineSize)
 	}
 	if cfg.Assoc <= 0 {
 		return nil, fmt.Errorf("cache %s: associativity %d must be positive", cfg.Name, cfg.Assoc)
@@ -80,17 +131,35 @@ func New(cfg Config) (*Cache, error) {
 	c := &Cache{
 		cfg:      cfg,
 		numSets:  numSets,
+		assoc:    cfg.Assoc,
 		offBits:  uint(bits.TrailingZeros64(uint64(cfg.LineSize))),
 		setMask:  uint64(numSets - 1),
-		sets:     make([][]Line, numSets),
-		policy:   replacement.New(cfg.Policy, numSets, cfg.Assoc),
 		numLines: numSets * cfg.Assoc,
 	}
-	lines := make([]Line, c.numLines)
-	for s := range c.sets {
-		c.sets[s], lines = lines[:cfg.Assoc:cfg.Assoc], lines[cfg.Assoc:]
+	c.tags = make([]uint64, c.numLines)
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
+	c.flags = make([]uint8, c.numLines)
+	// presence is allocated lazily on the first non-zero mask: only the
+	// LLC maintains directory bits, so the L1/L2 instances of a
+	// hierarchy never pay for the array.
+	c.setPolicy(replacement.New(cfg.Policy, numSets, cfg.Assoc))
 	return c, nil
+}
+
+// setPolicy installs p and re-derives the devirtualization pointers.
+func (c *Cache) setPolicy(p replacement.Policy) {
+	c.policy = p
+	c.lru, c.nru, c.srrip = nil, nil, nil
+	switch cp := p.(type) {
+	case *replacement.LRUStack:
+		c.lru = cp
+	case *replacement.NRUBits:
+		c.nru = cp
+	case *replacement.SRRIPTable:
+		c.srrip = cp
+	}
 }
 
 // MustNew is New for static configurations known to be valid; it panics
@@ -109,28 +178,126 @@ func (c *Cache) Config() Config { return c.cfg }
 // NumSets returns the number of sets.
 func (c *Cache) NumSets() int { return c.numSets }
 
-// LineAddr returns addr rounded down to its line boundary.
+// LineAddr returns addr rounded down to its line boundary. It is a pure
+// mask, so it is well defined for every addr including the top of the
+// 64-bit address space.
 func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.offBits << c.offBits }
 
-// SetIndex returns the set addr maps to.
+// SetIndex returns the set addr maps to. Like LineAddr it is pure bit
+// arithmetic and total over the full address space.
 func (c *Cache) SetIndex(addr uint64) int { return int(addr >> c.offBits & c.setMask) }
+
+// policyTouch promotes (set, way) in the replacement order via the
+// devirtualized fast path when available.
+func (c *Cache) policyTouch(set, way int) {
+	if c.lru != nil {
+		c.lru.Touch(set, way)
+		return
+	}
+	if c.nru != nil {
+		c.nru.Touch(set, way)
+		return
+	}
+	if c.srrip != nil {
+		c.srrip.Touch(set, way)
+		return
+	}
+	c.policy.Touch(set, way)
+}
+
+func (c *Cache) policyInsert(set, way int) {
+	if c.lru != nil {
+		c.lru.Insert(set, way)
+		return
+	}
+	if c.nru != nil {
+		c.nru.Insert(set, way)
+		return
+	}
+	if c.srrip != nil {
+		c.srrip.Insert(set, way)
+		return
+	}
+	c.policy.Insert(set, way)
+}
+
+func (c *Cache) policyDemote(set, way int) {
+	if c.lru != nil {
+		c.lru.Demote(set, way)
+		return
+	}
+	if c.nru != nil {
+		c.nru.Demote(set, way)
+		return
+	}
+	if c.srrip != nil {
+		c.srrip.Demote(set, way)
+		return
+	}
+	c.policy.Demote(set, way)
+}
+
+func (c *Cache) policyVictim(set int) int {
+	if c.lru != nil {
+		return c.lru.Victim(set)
+	}
+	if c.nru != nil {
+		return c.nru.Victim(set)
+	}
+	if c.srrip != nil {
+		return c.srrip.Victim(set)
+	}
+	return c.policy.Victim(set)
+}
+
+// Lookup resolves addr to its home set and, when the line is resident,
+// its way. It performs the line-addr/set computation exactly once, so
+// the hierarchy can probe a cache a single time per access and then use
+// the ...At methods with the returned coordinates. It never modifies
+// state.
+func (c *Cache) Lookup(addr uint64) (set, way int, ok bool) {
+	la := addr >> c.offBits << c.offBits
+	if la == c.lastLA {
+		// Filter hit candidate: verify against the tag array. A valid
+		// matching tag can only live in la's home set (fills store a
+		// line in its home set and lines never move between ways), so a
+		// verified entry is correct even if the filter is stale. This
+		// path is small enough to inline at every call site; the set
+		// scan is outlined.
+		if c.tags[int(c.lastSet)*c.assoc+int(c.lastWay)] == la {
+			return int(c.lastSet), int(c.lastWay), true
+		}
+	}
+	return c.scan(la)
+}
+
+// scan is the filter-miss half of Lookup: a linear probe of la's home
+// set that records a hit in the lookup filter. Empty ways hold
+// invalidTag, which never equals a line address, so the tag compare
+// alone decides residency.
+func (c *Cache) scan(la uint64) (set, way int, ok bool) {
+	set = int(la >> c.offBits & c.setMask)
+	base := set * c.assoc
+	tags := c.tags[base : base+c.assoc]
+	for w := range tags {
+		if tags[w] == la {
+			c.lastLA, c.lastSet, c.lastWay = la, int32(set), int32(w)
+			return set, w, true
+		}
+	}
+	return set, 0, false
+}
 
 // Probe looks addr up without touching replacement state or statistics.
 // It returns the way holding the line and true, or false when absent.
 func (c *Cache) Probe(addr uint64) (way int, ok bool) {
-	la := c.LineAddr(addr)
-	set := c.sets[c.SetIndex(addr)]
-	for w := range set {
-		if set[w].Valid && set[w].Addr == la {
-			return w, true
-		}
-	}
-	return 0, false
+	_, way, ok = c.Lookup(addr)
+	return way, ok
 }
 
 // Contains reports whether addr's line is present and valid.
 func (c *Cache) Contains(addr uint64) bool {
-	_, ok := c.Probe(addr)
+	_, _, ok := c.Lookup(addr)
 	return ok
 }
 
@@ -138,52 +305,84 @@ func (c *Cache) Contains(addr uint64) bool {
 // a hit or a temporal-locality hint. It reports whether the line was
 // present.
 func (c *Cache) Touch(addr uint64) bool {
-	way, ok := c.Probe(addr)
+	set, way, ok := c.Lookup(addr)
 	if !ok {
 		return false
 	}
-	c.policy.Touch(c.SetIndex(addr), way)
+	c.policyTouch(set, way)
 	return true
 }
 
 // Line returns a copy of the line at (set, way).
-func (c *Cache) Line(set, way int) Line { return c.sets[set][way] }
+func (c *Cache) Line(set, way int) Line {
+	i := set*c.assoc + way
+	if c.tags[i] == invalidTag {
+		return Line{}
+	}
+	return Line{
+		Addr:     c.tags[i],
+		Valid:    true,
+		Dirty:    c.flags[i]&flagDirty != 0,
+		Presence: c.presenceAtIndex(i),
+	}
+}
+
+// presenceAtIndex reads a presence mask, tolerating the lazily
+// unallocated state.
+func (c *Cache) presenceAtIndex(i int) uint64 {
+	if c.presence == nil {
+		return 0
+	}
+	return c.presence[i]
+}
+
+// ensurePresence allocates the presence array on first use.
+func (c *Cache) ensurePresence() {
+	if c.presence == nil {
+		c.presence = make([]uint64, c.numLines)
+	}
+}
 
 // SetDirty marks addr's line dirty (a store hit). It reports whether the
 // line was present.
 func (c *Cache) SetDirty(addr uint64) bool {
-	way, ok := c.Probe(addr)
+	set, way, ok := c.Lookup(addr)
 	if !ok {
 		return false
 	}
-	c.sets[c.SetIndex(addr)][way].Dirty = true
+	c.flags[set*c.assoc+way] |= flagDirty
 	return true
 }
+
+// SetDirtyAt marks the line at (set, way) dirty. The coordinates must
+// come from a successful Lookup.
+func (c *Cache) SetDirtyAt(set, way int) { c.flags[set*c.assoc+way] |= flagDirty }
 
 // VictimWay returns the way that would be evicted next from set:
 // an invalid way when one exists (lowest index first), otherwise the
 // replacement policy's choice. It does not modify any state.
 func (c *Cache) VictimWay(set int) int {
-	ways := c.sets[set]
-	for w := range ways {
-		if !ways[w].Valid {
+	base := set * c.assoc
+	tags := c.tags[base : base+c.assoc]
+	for w := range tags {
+		if tags[w] == invalidTag {
 			return w
 		}
 	}
-	return c.policy.Victim(set)
+	return c.policyVictim(set)
 }
 
 // PeekVictim returns a copy of the line VictimWay would displace.
-func (c *Cache) PeekVictim(set int) Line { return c.sets[set][c.VictimWay(set)] }
+func (c *Cache) PeekVictim(set int) Line { return c.Line(set, c.VictimWay(set)) }
 
 // PromoteWay moves (set, way) to the most-protected replacement
 // position. Used by QBS when a query finds the candidate resident in a
-// core cache, and by hint processing when the line's set/way is already
-// known.
-func (c *Cache) PromoteWay(set, way int) { c.policy.Touch(set, way) }
+// core cache, and by hit handling when the line's set/way is already
+// known from Lookup.
+func (c *Cache) PromoteWay(set, way int) { c.policyTouch(set, way) }
 
 // DemoteWay marks (set, way) as the next victim candidate.
-func (c *Cache) DemoteWay(set, way int) { c.policy.Demote(set, way) }
+func (c *Cache) DemoteWay(set, way int) { c.policyDemote(set, way) }
 
 // Fill allocates addr's line into the cache, evicting the current
 // victim if the set is full. It returns the displaced line (evicted
@@ -200,16 +399,24 @@ func (c *Cache) Fill(addr uint64, presence uint64) (victim Line, evicted bool) {
 // the displaced line. The hierarchy uses this when victim selection has
 // already been performed (e.g. after a QBS query chain).
 func (c *Cache) FillWay(set, way int, addr uint64, presence uint64) (victim Line, evicted bool) {
-	l := &c.sets[set][way]
-	victim, evicted = *l, l.Valid
-	if evicted {
+	i := set*c.assoc + way
+	if c.tags[i] != invalidTag {
+		evicted = true
+		victim = Line{Addr: c.tags[i], Valid: true, Dirty: c.flags[i]&flagDirty != 0, Presence: c.presenceAtIndex(i)}
 		c.Stats.Evictions++
 		if victim.Dirty {
 			c.Stats.DirtyEvicts++
 		}
 	}
-	*l = Line{Addr: c.LineAddr(addr), Valid: true, Presence: presence}
-	c.policy.Insert(set, way)
+	c.tags[i] = addr >> c.offBits << c.offBits
+	c.flags[i] = 0
+	if c.presence != nil {
+		c.presence[i] = presence
+	} else if presence != 0 {
+		c.ensurePresence()
+		c.presence[i] = presence
+	}
+	c.policyInsert(set, way)
 	c.Stats.Fills++
 	return victim, evicted
 }
@@ -217,58 +424,77 @@ func (c *Cache) FillWay(set, way int, addr uint64, presence uint64) (victim Line
 // Invalidate removes addr's line if present and returns a copy of it.
 // Replacement state for the way is demoted so the hole is reused first.
 func (c *Cache) Invalidate(addr uint64) (line Line, ok bool) {
-	way, found := c.Probe(addr)
+	set, way, found := c.Lookup(addr)
 	if !found {
 		return Line{}, false
 	}
-	set := c.SetIndex(addr)
-	line = c.sets[set][way]
-	c.sets[set][way] = Line{}
-	c.policy.Demote(set, way)
+	return c.InvalidateAt(set, way), true
+}
+
+// InvalidateAt removes the valid line at (set, way) — coordinates from
+// a successful Lookup — and returns a copy of it.
+func (c *Cache) InvalidateAt(set, way int) Line {
+	i := set*c.assoc + way
+	line := Line{Addr: c.tags[i], Valid: true, Dirty: c.flags[i]&flagDirty != 0, Presence: c.presenceAtIndex(i)}
+	c.tags[i], c.flags[i] = invalidTag, 0
+	if c.presence != nil {
+		c.presence[i] = 0
+	}
+	c.policyDemote(set, way)
 	c.Stats.Invalidations++
-	return line, true
+	return line
 }
 
 // Presence returns the presence mask of addr's line (0 when absent).
 func (c *Cache) Presence(addr uint64) uint64 {
-	way, ok := c.Probe(addr)
+	set, way, ok := c.Lookup(addr)
 	if !ok {
 		return 0
 	}
-	return c.sets[c.SetIndex(addr)][way].Presence
+	return c.presenceAtIndex(set*c.assoc + way)
 }
+
+// PresenceAt returns the presence mask of the line at (set, way).
+func (c *Cache) PresenceAt(set, way int) uint64 { return c.presenceAtIndex(set*c.assoc + way) }
 
 // AddPresence ORs bit core into addr's presence mask. It reports whether
 // the line was present.
 func (c *Cache) AddPresence(addr uint64, core int) bool {
-	way, ok := c.Probe(addr)
+	set, way, ok := c.Lookup(addr)
 	if !ok {
 		return false
 	}
-	c.sets[c.SetIndex(addr)][way].Presence |= 1 << uint(core)
+	c.ensurePresence()
+	c.presence[set*c.assoc+way] |= 1 << uint(core)
 	return true
+}
+
+// AddPresenceAt ORs bit core into the presence mask at (set, way).
+func (c *Cache) AddPresenceAt(set, way, core int) {
+	c.ensurePresence()
+	c.presence[set*c.assoc+way] |= 1 << uint(core)
 }
 
 // ClearPresence zeroes addr's presence mask (used by ECI after early
 // invalidating a line from the core caches while retaining it in the
 // LLC). It reports whether the line was present.
 func (c *Cache) ClearPresence(addr uint64) bool {
-	way, ok := c.Probe(addr)
+	set, way, ok := c.Lookup(addr)
 	if !ok {
 		return false
 	}
-	c.sets[c.SetIndex(addr)][way].Presence = 0
+	if c.presence != nil {
+		c.presence[set*c.assoc+way] = 0
+	}
 	return true
 }
 
 // ForEachValid calls fn for every valid line. Iteration order is
 // set-major, way-minor and deterministic.
 func (c *Cache) ForEachValid(fn func(Line)) {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			if c.sets[s][w].Valid {
-				fn(c.sets[s][w])
-			}
+	for i := 0; i < c.numLines; i++ {
+		if c.tags[i] != invalidTag {
+			fn(Line{Addr: c.tags[i], Valid: true, Dirty: c.flags[i]&flagDirty != 0, Presence: c.presenceAtIndex(i)})
 		}
 	}
 }
@@ -276,18 +502,31 @@ func (c *Cache) ForEachValid(fn func(Line)) {
 // CountValid returns the number of valid lines.
 func (c *Cache) CountValid() int {
 	n := 0
-	c.ForEachValid(func(Line) { n++ })
+	for _, t := range c.tags {
+		if t != invalidTag {
+			n++
+		}
+	}
 	return n
 }
 
 // Reset invalidates every line and zeroes statistics, preserving the
 // geometry and replacement policy kind.
 func (c *Cache) Reset() {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			c.sets[s][w] = Line{}
-		}
+	for i := range c.flags {
+		c.tags[i], c.flags[i] = invalidTag, 0
 	}
-	c.policy = replacement.New(c.cfg.Policy, c.numSets, c.cfg.Assoc)
+	for i := range c.presence {
+		c.presence[i] = 0
+	}
+	c.lastLA, c.lastSet, c.lastWay = 0, 0, 0
+	// Reuse the existing replacement state when the policy can reinit
+	// in place; reconstructing policies on every warmup reset was a
+	// measurable share of a run's allocations.
+	if r, ok := c.policy.(replacement.StateResetter); ok {
+		r.ResetState()
+	} else {
+		c.setPolicy(replacement.New(c.cfg.Policy, c.numSets, c.cfg.Assoc))
+	}
 	c.Stats = Stats{}
 }

@@ -61,6 +61,39 @@ func TestAddressMapping(t *testing.T) {
 	}
 }
 
+// TestAddressMappingBoundaries pins LineAddr and SetIndex at the edges
+// of the 64-bit address space: both are pure bit arithmetic and must be
+// total — no overflow, no out-of-range set — and a line at the very top
+// must be fillable, findable, and invalidatable like any other.
+func TestAddressMappingBoundaries(t *testing.T) {
+	c := tiny(t, 4096, 4, replacement.LRU) // 16 sets x 4 ways x 64B
+	top := ^uint64(0)
+	if got := c.LineAddr(top); got != top&^63 {
+		t.Errorf("LineAddr(max) = %#x, want %#x", got, top&^63)
+	}
+	if got := c.LineAddr(0); got != 0 {
+		t.Errorf("LineAddr(0) = %#x, want 0", got)
+	}
+	for _, addr := range []uint64{0, 63, 64, top, top &^ 63, top - 64} {
+		if s := c.SetIndex(addr); s < 0 || s >= c.NumSets() {
+			t.Fatalf("SetIndex(%#x) = %d, outside [0,%d)", addr, s, c.NumSets())
+		}
+	}
+	c.Fill(top, 0)
+	if !c.Contains(top &^ 63) {
+		t.Fatal("line at top of address space not found after fill")
+	}
+	if c.Contains(top&^63 - 64) {
+		t.Fatal("neighbouring line reported present")
+	}
+	if _, ok := c.Invalidate(top); !ok {
+		t.Fatal("line at top of address space not invalidatable")
+	}
+	if c.CountValid() != 0 {
+		t.Fatalf("CountValid = %d after invalidate", c.CountValid())
+	}
+}
+
 func TestFillEvictsLRUVictim(t *testing.T) {
 	c := tiny(t, 64*2, 2, replacement.LRU) // 1 set x 2 ways
 	c.Fill(0x0, 0)

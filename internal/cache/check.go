@@ -14,25 +14,37 @@ import (
 // this for every cache in the hierarchy; it is O(lines x assoc).
 func (c *Cache) CheckConsistency() error {
 	checker, _ := c.policy.(replacement.Checker)
-	for s := range c.sets {
-		ways := c.sets[s]
-		for w := range ways {
-			l := ways[w]
-			if !l.Valid {
+	for s := 0; s < c.numSets; s++ {
+		base := s * c.assoc
+		for w := 0; w < c.assoc; w++ {
+			if c.tags[base+w] == invalidTag {
+				// An empty way must carry no leftover line state: the
+				// lookup scan trusts the tag word alone, so a stale
+				// dirty bit or presence mask here would silently
+				// resurface with the next fill.
+				if c.flags[base+w] != 0 {
+					return fmt.Errorf("cache %s: set %d way %d is empty but has flags %#x",
+						c.cfg.Name, s, w, c.flags[base+w])
+				}
+				if c.presenceAtIndex(base+w) != 0 {
+					return fmt.Errorf("cache %s: set %d way %d is empty but has presence %#x",
+						c.cfg.Name, s, w, c.presenceAtIndex(base+w))
+				}
 				continue
 			}
-			if l.Addr != c.LineAddr(l.Addr) {
+			addr := c.tags[base+w]
+			if addr != c.LineAddr(addr) {
 				return fmt.Errorf("cache %s: set %d way %d holds unaligned address %#x",
-					c.cfg.Name, s, w, l.Addr)
+					c.cfg.Name, s, w, addr)
 			}
-			if home := c.SetIndex(l.Addr); home != s {
+			if home := c.SetIndex(addr); home != s {
 				return fmt.Errorf("cache %s: line %#x stored in set %d but maps to set %d",
-					c.cfg.Name, l.Addr, s, home)
+					c.cfg.Name, addr, s, home)
 			}
 			for v := 0; v < w; v++ {
-				if ways[v].Valid && ways[v].Addr == l.Addr {
+				if c.tags[base+v] == addr {
 					return fmt.Errorf("cache %s: line %#x duplicated in set %d (ways %d and %d)",
-						c.cfg.Name, l.Addr, s, v, w)
+						c.cfg.Name, addr, s, v, w)
 				}
 			}
 		}

@@ -113,12 +113,19 @@ func (c *Core) drain() {
 }
 
 func (c *Core) pop() {
-	c.head = (c.head + 1) % len(c.queue)
+	c.head++
+	if c.head == len(c.queue) {
+		c.head = 0
+	}
 	c.count--
 }
 
 func (c *Core) push(p pending) {
-	c.queue[(c.head+c.count)%len(c.queue)] = p
+	i := c.head + c.count
+	if i >= len(c.queue) {
+		i -= len(c.queue)
+	}
+	c.queue[i] = p
 	c.count++
 }
 

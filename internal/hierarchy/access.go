@@ -13,6 +13,28 @@ type Result struct {
 	Latency uint64
 }
 
+// noILine is the unarmed value of a per-core ifetch memo. Line
+// addresses are always even (the line size is at least two bytes), so
+// an odd sentinel can never match one.
+const noILine uint64 = 1
+
+// clearIFetchMemos disarms every core's ifetch memo.
+func (h *Hierarchy) clearIFetchMemos() {
+	for i := range h.lastILine {
+		h.lastILine[i] = noILine
+	}
+}
+
+// dropIFetchMemo disarms core's ifetch memo when it names addr. Every
+// path that removes a line from an L1I other than the owning core's own
+// fetch stream must call this, or the memo would keep reporting hits
+// for a line that is gone.
+func (h *Hierarchy) dropIFetchMemo(core int, addr uint64) {
+	if h.lastILine[core] == addr {
+		h.lastILine[core] = noILine
+	}
+}
+
 // Access performs one demand access for core. addr is a byte address;
 // kind selects the instruction or data path and write-allocation. The
 // returned Result feeds the core timing model. With a banked LLC
@@ -35,27 +57,51 @@ func (h *Hierarchy) AccessAt(core int, kind AccessKind, addr uint64, now uint64)
 	l1Stats := &cs.L1D
 	src := DL1
 	if kind == IFetch {
+		// Ifetch memo: a repeat of the previous fetch's line, which hit.
+		// The line is still resident (every removal clears the memo) and
+		// its replacement state already reflects a hit touch — a second
+		// touch is idempotent for every policy — so the access reduces
+		// to the hit counter and latency. TLH configurations never arm
+		// the memo (a hit must still deliver its hint).
+		if la == h.lastILine[core] {
+			cs.L1I.Accesses++
+			return Result{LevelL1, h.cfg.Latency.L1}
+		}
 		l1, l1Stats, src = h.l1i[core], &cs.L1I, IL1
 	}
 
-	// L1 lookup.
+	// L1 lookup. Lookup resolves the set/way once; the hit path then
+	// operates on those coordinates instead of re-probing by address.
 	l1Stats.Accesses++
-	if l1.Touch(la) {
+	if set, way, ok := l1.Lookup(la); ok {
+		l1.PromoteWay(set, way)
 		if kind == Store {
-			l1.SetDirty(la)
+			l1.SetDirtyAt(set, way)
 		}
-		h.maybeHint(src, la)
+		if h.tlhOn {
+			h.maybeHint(src, la)
+		} else if kind == IFetch {
+			h.lastILine[core] = la
+		}
 		return Result{LevelL1, h.cfg.Latency.L1}
 	}
 	l1Stats.Misses++
+	if kind == IFetch {
+		// The fill below installs la at insertion (not hit) priority and
+		// may evict the memoized line, so the memo must not survive an
+		// ifetch miss.
+		h.lastILine[core] = noILine
+	}
 
 	// L2 lookup.
 	cs.L2.Accesses++
-	if h.l2[core].Touch(la) {
-		h.maybeHint(L2C, la)
-		h.fillL1(core, kind, la)
+	if l2 := h.l2[core]; l2.Touch(la) {
+		if h.tlhOn {
+			h.maybeHint(L2C, la)
+		}
+		set, way := h.fillL1(core, kind, la)
 		if kind == Store {
-			l1.SetDirty(la)
+			l1.SetDirtyAt(set, way)
 		}
 		return Result{LevelL2, h.cfg.Latency.L2}
 	}
@@ -102,13 +148,11 @@ func (h *Hierarchy) lookupLLC(core int, kind AccessKind, la uint64) Result {
 	cs := &h.Cores[core]
 	cs.LLC.Accesses++
 
-	if way, ok := h.llc.Probe(la); ok {
-		set := h.llc.SetIndex(la)
+	if set, way, ok := h.llc.Lookup(la); ok {
 		if h.cfg.Inclusion == Exclusive {
 			// Exclusive hit path: the line moves up and the LLC copy
 			// is invalidated (paper §IV-A).
-			line := h.llc.Line(set, way)
-			h.llc.Invalidate(la)
+			line := h.llc.InvalidateAt(set, way)
 			h.fillL2(core, la)
 			if line.Dirty {
 				h.l2[core].SetDirty(la)
@@ -117,12 +161,15 @@ func (h *Hierarchy) lookupLLC(core int, kind AccessKind, la uint64) Result {
 			// An LLC hit on a line with an empty presence mask under ECI
 			// is a rescue: the line was early-invalidated from the core
 			// caches and the prompt re-reference ECI bet on has arrived.
-			if h.probe != nil && h.cfg.TLA == TLAECI && h.llc.Line(set, way).Presence == 0 {
+			// The TLA check leads so non-ECI runs skip the presence read.
+			if h.cfg.TLA == TLAECI && h.probe != nil && h.llc.PresenceAt(set, way) == 0 {
 				h.probe.ECIRescue(la)
 			}
 			h.llc.PromoteWay(set, way)
-			h.llc.AddPresence(la, core)
-			h.fillL2(core, la)
+			h.llc.AddPresenceAt(set, way, core)
+			// fillL2 would re-probe the LLC to record presence; the hit
+			// path already did, so allocate the L2 line directly.
+			h.allocL2(core, la)
 		}
 		h.fillL1(core, kind, la)
 		return Result{LevelLLC, h.cfg.Latency.LLC}
@@ -148,7 +195,9 @@ func (h *Hierarchy) lookupLLC(core int, kind AccessKind, la uint64) Result {
 				}
 			} else {
 				h.fillLLC(core, la, dirty)
-				h.fillL2(core, la)
+				// fillLLC installed the line with this core's presence
+				// bit; allocate the L2 line without re-probing the LLC.
+				h.allocL2(core, la)
 			}
 			h.fillL1(core, kind, la)
 			return Result{LevelVictimCache, h.latency(LevelVictimCache)}
@@ -159,23 +208,31 @@ func (h *Hierarchy) lookupLLC(core int, kind AccessKind, la uint64) Result {
 	h.Traffic.MemoryReads++
 	if h.cfg.Inclusion != Exclusive {
 		h.fillLLC(core, la, false)
+		// fillLLC installed the line with this core's presence bit;
+		// allocate the L2 line without re-probing the LLC.
+		h.allocL2(core, la)
+	} else {
+		h.fillL2(core, la)
 	}
-	h.fillL2(core, la)
 	h.fillL1(core, kind, la)
 	return Result{LevelMemory, h.cfg.Latency.Memory}
 }
 
 // fillL1 installs la into core's L1 (I or D side), writing a dirty
-// victim back to the L2.
-func (h *Hierarchy) fillL1(core int, kind AccessKind, la uint64) {
+// victim back to the L2. It returns the set and way the line landed in
+// so store handling can mark it dirty without another probe.
+func (h *Hierarchy) fillL1(core int, kind AccessKind, la uint64) (set, way int) {
 	l1 := h.l1d[core]
 	if kind == IFetch {
 		l1 = h.l1i[core]
 	}
-	victim, evicted := l1.Fill(la, 0)
+	set = l1.SetIndex(la)
+	way = l1.VictimWay(set)
+	victim, evicted := l1.FillWay(set, way, la, 0)
 	if evicted && victim.Dirty {
 		h.writebackToL2(core, victim.Addr)
 	}
+	return set, way
 }
 
 // writebackToL2 merges a dirty L1 victim into the L2, allocating when
@@ -241,6 +298,7 @@ func (h *Hierarchy) allocL2(core int, la uint64) {
 		if l, ok := h.l1i[core].Invalidate(victim.Addr); ok {
 			removed = true
 			victim.Dirty = victim.Dirty || l.Dirty
+			h.dropIFetchMemo(core, victim.Addr)
 		}
 		if l, ok := h.l1d[core].Invalidate(victim.Addr); ok {
 			removed = true
@@ -446,6 +504,7 @@ func (h *Hierarchy) backInvalidate(addr uint64, presence uint64) (dirty bool) {
 		if line, ok := h.l1i[c].Invalidate(addr); ok {
 			removed = true
 			dirty = dirty || line.Dirty
+			h.dropIFetchMemo(c, addr)
 		}
 		if line, ok := h.l1d[c].Invalidate(addr); ok {
 			removed = true
@@ -495,13 +554,27 @@ func (h *Hierarchy) invalidateInCores(addr uint64, presence uint64) int {
 	for presence != 0 {
 		c := bits.TrailingZeros64(presence)
 		presence &^= 1 << uint(c)
+		// Unrolled over the three core caches: a slice literal here
+		// would allocate on every ECI/modified-QBS invalidation, which
+		// sits on the steady-state path.
 		any := false
-		for _, cc := range []*cache.Cache{h.l1i[c], h.l1d[c], h.l2[c]} {
-			if l, ok := cc.Invalidate(addr); ok {
-				any = true
-				if l.Dirty {
-					h.llc.SetDirty(addr)
-				}
+		if l, ok := h.l1i[c].Invalidate(addr); ok {
+			any = true
+			if l.Dirty {
+				h.llc.SetDirty(addr)
+			}
+			h.dropIFetchMemo(c, addr)
+		}
+		if l, ok := h.l1d[c].Invalidate(addr); ok {
+			any = true
+			if l.Dirty {
+				h.llc.SetDirty(addr)
+			}
+		}
+		if l, ok := h.l2[c].Invalidate(addr); ok {
+			any = true
+			if l.Dirty {
+				h.llc.SetDirty(addr)
 			}
 		}
 		if any {
@@ -543,9 +616,8 @@ func (h *Hierarchy) prefetchFill(core int, pa uint64) {
 	h.Traffic.PrefetchFills++
 	switch h.cfg.Inclusion {
 	case Exclusive:
-		if way, ok := h.llc.Probe(la); ok {
-			line := h.llc.Line(h.llc.SetIndex(la), way)
-			h.llc.Invalidate(la)
+		if set, way, ok := h.llc.Lookup(la); ok {
+			line := h.llc.InvalidateAt(set, way)
 			h.fillL2(core, la)
 			if line.Dirty {
 				h.l2[core].SetDirty(la)
@@ -555,12 +627,14 @@ func (h *Hierarchy) prefetchFill(core int, pa uint64) {
 		h.Traffic.MemoryReads++
 		h.fillL2(core, la)
 	default:
-		if way, ok := h.llc.Probe(la); ok {
-			h.llc.PromoteWay(h.llc.SetIndex(la), way)
+		if set, way, ok := h.llc.Lookup(la); ok {
+			h.llc.PromoteWay(set, way)
+			h.llc.AddPresenceAt(set, way, core)
+			h.allocL2(core, la)
 		} else {
 			h.Traffic.MemoryReads++
 			h.fillLLC(core, la, false)
+			h.allocL2(core, la)
 		}
-		h.fillL2(core, la)
 	}
 }

@@ -281,7 +281,10 @@ func DefaultConfig(cores int) Config {
 // Validate reports the first configuration problem.
 func (c *Config) Validate() error {
 	if c.Cores <= 0 || c.Cores > 64 {
-		return fmt.Errorf("hierarchy: %d cores out of range [1,64]", c.Cores)
+		// The hard upper bound is structural: LLC directory presence
+		// masks are single uint64 bitmaps (one bit per core), and a 65th
+		// core's presence bit would silently shift out of range.
+		return fmt.Errorf("hierarchy: %d cores out of range [1,64] (presence masks are 64-bit bitmaps)", c.Cores)
 	}
 	if c.TLHPerMille < 0 || c.TLHPerMille > 1000 {
 		return fmt.Errorf("hierarchy: TLHPerMille %d out of range", c.TLHPerMille)
@@ -392,6 +395,16 @@ type Hierarchy struct {
 	buf []uint64 // scratch for prefetch addresses
 
 	hintClock uint64 // deterministic TLH sampling counter
+	tlhOn     bool   // cfg.TLA == TLATLH, hoisted out of the L1-hit path
+
+	// lastILine memoizes, per core, the L1I line of the most recent
+	// instruction fetch when that fetch hit. Sequential code re-fetches
+	// the same line many times in a row, and a memo hit is a repeat of
+	// an access whose side effects (replacement touch) have already been
+	// applied and are idempotent, so the whole L1I path can be skipped.
+	// Entries hold noILine when no memo is armed; the TLH configuration
+	// never arms one because L1 hits must still deliver hints.
+	lastILine []uint64
 
 	bankFree      []uint64 // per-bank next-free cycle (LLCBanks > 0)
 	bankOccupancy uint64
@@ -411,7 +424,9 @@ func New(cfg Config) (*Hierarchy, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	h := &Hierarchy{cfg: cfg, Cores: make([]CoreStats, cfg.Cores)}
+	h := &Hierarchy{cfg: cfg, Cores: make([]CoreStats, cfg.Cores), tlhOn: cfg.TLA == TLATLH}
+	h.lastILine = make([]uint64, cfg.Cores)
+	h.clearIFetchMemos()
 	mk := func(name string, size int64, assoc int, pol replacement.Kind) (*cache.Cache, error) {
 		return cache.New(cache.Config{Name: name, Size: size, Assoc: assoc, LineSize: cfg.LineSize, Policy: pol})
 	}

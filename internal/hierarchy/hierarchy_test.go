@@ -1,6 +1,7 @@
 package hierarchy
 
 import (
+	"strings"
 	"testing"
 
 	"tlacache/internal/replacement"
@@ -59,6 +60,48 @@ func TestConfigValidate(t *testing.T) {
 	bad.L1ISize = 100 // not a valid cache geometry
 	if _, err := New(bad); err == nil {
 		t.Error("New accepted invalid L1I geometry")
+	}
+}
+
+// TestConfigCoreLimit pins the core-count boundary: presence masks are
+// single uint64 bitmaps, so exactly 64 cores must work — including the
+// directory bit of the highest core — and 65 must be rejected with a
+// diagnosis that names the reason.
+func TestConfigCoreLimit(t *testing.T) {
+	cfg := Config{
+		Cores: 64, LineSize: 64,
+		L1ISize: 1 << 10, L1IAssoc: 2,
+		L1DSize: 1 << 10, L1DAssoc: 2,
+		L2Size: 2 << 10, L2Assoc: 2,
+		LLCSize: 64 << 10, LLCAssoc: 4,
+		Latency: DefaultConfig(2).Latency,
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("64 cores rejected: %v", err)
+	}
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A miss by the top core must set directory bit 63, not lose it to
+	// an out-of-range shift.
+	h.Access(63, Load, lineA)
+	if p := h.LLC().Presence(lineA); p != 1<<63 {
+		t.Fatalf("presence after core 63 access = %#x, want %#x", p, uint64(1)<<63)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cores := range []int{0, -1, 65} {
+		cfg.Cores = cores
+		err := cfg.Validate()
+		if err == nil {
+			t.Fatalf("%d cores accepted", cores)
+		}
+		if cores == 65 && !strings.Contains(err.Error(), "presence") {
+			t.Fatalf("65-core rejection %q does not explain the presence-mask bound", err)
+		}
 	}
 }
 

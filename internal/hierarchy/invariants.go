@@ -70,6 +70,13 @@ func (h *Hierarchy) CheckInvariants() error {
 			}
 		}
 	}
+	// An armed ifetch memo asserts its line is resident in the owning
+	// core's L1I; a stale memo would fabricate hits.
+	for c := 0; c < h.cfg.Cores; c++ {
+		if la := h.lastILine[c]; la != noILine && !h.l1i[c].Contains(la) {
+			return fmt.Errorf("ifetch memo stale: core %d line %#x not in L1I", c, la)
+		}
+	}
 	var err error
 	coreMask := uint64(1)<<uint(h.cfg.Cores) - 1
 	h.llc.ForEachValid(func(l cache.Line) {
@@ -321,6 +328,7 @@ func (h *Hierarchy) Reset() {
 		h.vc.dirty = h.vc.dirty[:0]
 	}
 	h.hintClock = 0
+	h.clearIFetchMemos()
 	for i := range h.bankFree {
 		h.bankFree[i] = 0
 	}

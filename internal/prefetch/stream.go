@@ -152,9 +152,13 @@ func (s *Streamer) OnMiss(addr uint64, buf []uint64) []uint64 {
 		return buf
 	}
 	d.lastLine = line
+	// Clamp emission at both edges of the address space: below line 0
+	// and above the last representable line, where the shift back to a
+	// byte address would wrap and prefetch a bogus low address.
+	maxLine := ^uint64(0) >> s.offBits
 	for i := 1; i <= s.degree; i++ {
 		next := line + d.dir*int64(i)
-		if next < 0 {
+		if next < 0 || uint64(next) > maxLine {
 			break
 		}
 		buf = append(buf, uint64(next)<<s.offBits)

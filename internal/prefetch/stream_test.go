@@ -156,6 +156,28 @@ func TestNoNegativeLinePrefetch(t *testing.T) {
 	}
 }
 
+// TestNoWrappedPrefetchAtAddressTop drives an ascending stream into the
+// last cache lines of the 64-bit address space. Without the top-edge
+// clamp the emission shift wraps and prefetches bogus low addresses.
+func TestNoWrappedPrefetchAtAddressTop(t *testing.T) {
+	s := MustNew(Config{})
+	top := ^uint64(0) &^ 63 // last 64-byte line
+	s.OnMiss(top-2*64, nil)
+	buf := s.OnMiss(top-64, nil) // confirmed ascending; degree 2 would pass top
+	if len(buf) != 1 || buf[0] != top {
+		t.Fatalf("prefetches at top edge = %#v, want [%#x]", buf, top)
+	}
+	buf = s.OnMiss(top, buf[:0]) // nothing representable beyond the last line
+	for _, a := range buf {
+		if a < top {
+			t.Fatalf("wrapped prefetch address %#x", a)
+		}
+	}
+	if len(buf) != 0 {
+		t.Fatalf("prefetched past the top of the address space: %#v", buf)
+	}
+}
+
 func TestReset(t *testing.T) {
 	s := MustNew(Config{})
 	s.OnMiss(0x1000, nil)

@@ -11,11 +11,35 @@ type Checker interface {
 	CheckSet(set int) error
 }
 
-// CheckSet verifies the LRU recency stack: stack[set] must be a
-// permutation of the ways and pos[set] its exact inverse.
-func (p *lru) CheckSet(set int) error {
+// CheckSet verifies the LRU recency stack: set's stack row must be a
+// permutation of the ways and (wide representation) its pos row the
+// exact inverse. For the packed representation the nibbles at and above
+// assoc must additionally be zero — the shift algebra in moveTo depends
+// on it.
+func (p *LRUStack) CheckSet(set int) error {
+	if p.packed != nil {
+		v := p.packed[set]
+		var seen uint32
+		for i := 0; i < p.assoc; i++ {
+			w := v >> (4 * i) & 0xF
+			if int(w) >= p.assoc {
+				return fmt.Errorf("replacement: LRU set %d stack[%d] names way %d of %d", set, i, w, p.assoc)
+			}
+			if seen&(1<<w) != 0 {
+				return fmt.Errorf("replacement: LRU set %d way %d appears twice in the stack", set, w)
+			}
+			seen |= 1 << w
+		}
+		if p.assoc < 16 && v>>(4*p.assoc) != 0 {
+			return fmt.Errorf("replacement: LRU set %d has nonzero nibbles beyond way %d", set, p.assoc-1)
+		}
+		return nil
+	}
+	base := set * p.assoc
+	st := p.stack[base : base+p.assoc]
+	pos := p.pos[base : base+p.assoc]
 	seen := make([]bool, p.assoc)
-	for i, w := range p.stack[set] {
+	for i, w := range st {
 		if int(w) >= p.assoc {
 			return fmt.Errorf("replacement: LRU set %d stack[%d] names way %d of %d", set, i, w, p.assoc)
 		}
@@ -23,9 +47,9 @@ func (p *lru) CheckSet(set int) error {
 			return fmt.Errorf("replacement: LRU set %d way %d appears twice in the stack", set, w)
 		}
 		seen[w] = true
-		if int(p.pos[set][w]) != i {
+		if int(pos[w]) != i {
 			return fmt.Errorf("replacement: LRU set %d inverse map broken: pos[%d]=%d, want %d",
-				set, w, p.pos[set][w], i)
+				set, w, pos[w], i)
 		}
 	}
 	return nil
@@ -35,14 +59,14 @@ func (p *lru) CheckSet(set int) error {
 // equal the number of set reference bits, and a set is never fully
 // referenced (mark starts a new generation instead), so Victim always
 // has a candidate.
-func (p *nru) CheckSet(set int) error {
+func (p *NRUBits) CheckSet(set int) error {
 	n := 0
-	for _, r := range p.ref[set] {
+	for _, r := range p.ref[set*p.assoc : set*p.assoc+p.assoc] {
 		if r {
 			n++
 		}
 	}
-	if n != p.live[set] {
+	if n != int(p.live[set]) {
 		return fmt.Errorf("replacement: NRU set %d live count %d but %d reference bits set", set, p.live[set], n)
 	}
 	if p.assoc > 1 && n == p.assoc {

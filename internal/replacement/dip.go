@@ -38,7 +38,7 @@ const (
 	DIP
 )
 
-type lip struct{ *lru }
+type lip struct{ *LRUStack }
 
 func newLIP(numSets, assoc int) lip { return lip{newLRU(numSets, assoc)} }
 
@@ -47,13 +47,19 @@ func (p lip) Name() string { return "LIP" }
 func (p lip) Insert(set, way int) { p.moveTo(set, way, p.assoc-1) }
 
 type bip struct {
-	*lru
+	*LRUStack
 	fills uint64
 }
 
-func newBIP(numSets, assoc int) *bip { return &bip{lru: newLRU(numSets, assoc)} }
+func newBIP(numSets, assoc int) *bip { return &bip{LRUStack: newLRU(numSets, assoc)} }
 
 func (p *bip) Name() string { return "BIP" }
+
+// ResetState clears the recency stacks and the fill counter.
+func (p *bip) ResetState() {
+	p.LRUStack.ResetState()
+	p.fills = 0
+}
 
 func (p *bip) Insert(set, way int) {
 	p.fills++
@@ -65,16 +71,23 @@ func (p *bip) Insert(set, way int) {
 }
 
 type dip struct {
-	*lru
+	*LRUStack
 	fills uint64
 	psel  int // > half: BIP is winning; <= half: LRU is winning
 }
 
 func newDIP(numSets, assoc int) *dip {
-	return &dip{lru: newLRU(numSets, assoc), psel: dipPselMax / 2}
+	return &dip{LRUStack: newLRU(numSets, assoc), psel: dipPselMax / 2}
 }
 
 func (p *dip) Name() string { return "DIP" }
+
+// ResetState clears the recency stacks, fill counter, and selector.
+func (p *dip) ResetState() {
+	p.LRUStack.ResetState()
+	p.fills = 0
+	p.psel = dipPselMax / 2
+}
 
 // leader classifies a set: 0 = LRU leader, 1 = BIP leader, -1 follower.
 func dipLeader(set int) int {

@@ -22,34 +22,47 @@ const (
 )
 
 type brrip struct {
-	*srrip
+	*SRRIPTable
 	fills uint64
 }
 
-func newBRRIP(numSets, assoc int) *brrip { return &brrip{srrip: newSRRIP(numSets, assoc)} }
+func newBRRIP(numSets, assoc int) *brrip { return &brrip{SRRIPTable: newSRRIP(numSets, assoc)} }
 
 func (p *brrip) Name() string { return "BRRIP" }
+
+// ResetState restores the RRPV table and clears the fill counter.
+func (p *brrip) ResetState() {
+	p.SRRIPTable.ResetState()
+	p.fills = 0
+}
 
 func (p *brrip) Insert(set, way int) {
 	p.fills++
 	if p.fills%bipEpsilonInverse == 0 {
-		p.rrpv[set][way] = p.max - 1 // long
+		p.rrpv[set*p.assoc+way] = p.max - 1 // long
 		return
 	}
-	p.rrpv[set][way] = p.max // distant
+	p.rrpv[set*p.assoc+way] = p.max // distant
 }
 
 type drrip struct {
-	*srrip
+	*SRRIPTable
 	fills uint64
 	psel  int
 }
 
 func newDRRIP(numSets, assoc int) *drrip {
-	return &drrip{srrip: newSRRIP(numSets, assoc), psel: dipPselMax / 2}
+	return &drrip{SRRIPTable: newSRRIP(numSets, assoc), psel: dipPselMax / 2}
 }
 
 func (p *drrip) Name() string { return "DRRIP" }
+
+// ResetState restores the RRPV table, fill counter, and selector.
+func (p *drrip) ResetState() {
+	p.SRRIPTable.ResetState()
+	p.fills = 0
+	p.psel = dipPselMax / 2
+}
 
 func (p *drrip) Insert(set, way int) {
 	useBRRIP := false
@@ -67,19 +80,19 @@ func (p *drrip) Insert(set, way int) {
 		useBRRIP = p.psel > dipPselMax/2
 	}
 	if dipLeader(set) == 0 {
-		p.srrip.Insert(set, way) // SRRIP leaders always insert long
+		p.SRRIPTable.Insert(set, way) // SRRIP leaders always insert long
 		return
 	}
 	if useBRRIP {
 		p.fills++
 		if p.fills%bipEpsilonInverse == 0 {
-			p.rrpv[set][way] = p.max - 1
+			p.rrpv[set*p.assoc+way] = p.max - 1
 		} else {
-			p.rrpv[set][way] = p.max
+			p.rrpv[set*p.assoc+way] = p.max
 		}
 		return
 	}
-	p.srrip.Insert(set, way)
+	p.SRRIPTable.Insert(set, way)
 }
 
 // PSEL exposes the selector for tests.

@@ -10,13 +10,13 @@ func TestBRRIPInsertsDistant(t *testing.T) {
 	long, distant := 0, 0
 	for i := 0; i < 32*8; i++ {
 		p.Insert(0, 1)
-		switch p.rrpv[0][1] {
+		switch p.rrpv[0*p.assoc+1] {
 		case p.max:
 			distant++
 		case p.max - 1:
 			long++
 		default:
-			t.Fatalf("unexpected RRPV %d after BRRIP insert", p.rrpv[0][1])
+			t.Fatalf("unexpected RRPV %d after BRRIP insert", p.rrpv[0*p.assoc+1])
 		}
 	}
 	if long != 8 {
@@ -59,8 +59,8 @@ func TestDRRIPLeadersAndPsel(t *testing.T) {
 	}
 	// SRRIP leader always inserts long.
 	p.Insert(0, 2)
-	if p.rrpv[0][2] != p.max-1 {
-		t.Fatalf("SRRIP leader inserted at %d", p.rrpv[0][2])
+	if p.rrpv[0*p.assoc+2] != p.max-1 {
+		t.Fatalf("SRRIP leader inserted at %d", p.rrpv[0*p.assoc+2])
 	}
 }
 
@@ -76,7 +76,7 @@ func TestDRRIPFollowersSwitch(t *testing.T) {
 	distant := 0
 	for i := 0; i < 31; i++ {
 		p.Insert(5, 1)
-		if p.rrpv[5][1] == p.max {
+		if p.rrpv[5*p.assoc+1] == p.max {
 			distant++
 		}
 	}
@@ -88,8 +88,8 @@ func TestDRRIPFollowersSwitch(t *testing.T) {
 		p.Insert(1, i%4)
 	}
 	p.Insert(6, 1)
-	if p.rrpv[6][1] != p.max-1 {
-		t.Fatalf("with SRRIP winning, follower inserted at %d", p.rrpv[6][1])
+	if p.rrpv[6*p.assoc+1] != p.max-1 {
+		t.Fatalf("with SRRIP winning, follower inserted at %d", p.rrpv[6*p.assoc+1])
 	}
 }
 

@@ -60,9 +60,21 @@ func TestLRUCheckSetDetectsCorruption(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	p.stack[0][0] = p.stack[0][1]
+	// Duplicate the MRU way into position 1 of set 0's packed stack.
+	p.packed[0] = p.packed[0]&^0xF0 | p.packed[0]&0xF<<4
 	if err := p.CheckSet(0); err == nil {
 		t.Fatal("duplicated way in stack accepted")
+	}
+
+	// The wide (assoc > 16) representation must catch the same thing.
+	w := newLRU(2, 20)
+	w.Touch(0, 13)
+	if err := w.CheckSet(0); err != nil {
+		t.Fatal(err)
+	}
+	w.stack[0] = w.stack[1]
+	if err := w.CheckSet(0); err == nil {
+		t.Fatal("duplicated way in wide stack accepted")
 	}
 }
 
@@ -82,8 +94,8 @@ func TestNRUCheckSetDetectsCorruption(t *testing.T) {
 	}
 	p.live[0] = 2
 
-	for w := range p.ref[0] {
-		p.ref[0][w] = true
+	for w := 0; w < p.assoc; w++ {
+		p.ref[w] = true
 	}
 	p.live[0] = 4
 	if err := p.CheckSet(0); err == nil {

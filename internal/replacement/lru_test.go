@@ -90,71 +90,77 @@ func (r refLRU) demote(way int) {
 	r[len(r)-1] = way
 }
 
-// TestLRUMatchesReferenceModel drives the packed LRU implementation and
-// the obviously-correct slice model with the same random operation
-// stream and requires identical victims throughout.
+// TestLRUMatchesReferenceModel drives both LRU representations — the
+// packed nibble stack (assoc 16 and a non-power-of-two 5) and the wide
+// byte-array fallback (assoc 20) — against the obviously-correct slice
+// model with the same random operation stream, requiring identical
+// victims and stack positions throughout.
 func TestLRUMatchesReferenceModel(t *testing.T) {
-	const assoc = 16
-	f := func(ops []uint16) bool {
-		p := newLRU(1, assoc)
-		ref := newRefLRU(assoc)
-		for _, op := range ops {
-			way := int(op) % assoc
-			switch (int(op) / assoc) % 3 {
-			case 0:
-				p.Touch(0, way)
-				ref.promote(way)
-			case 1:
-				p.Insert(0, way)
-				ref.promote(way)
-			case 2:
-				p.Demote(0, way)
-				ref.demote(way)
+	for _, assoc := range []int{5, 16, 20} {
+		assoc := assoc
+		f := func(ops []uint16) bool {
+			p := newLRU(1, assoc)
+			ref := newRefLRU(assoc)
+			for _, op := range ops {
+				way := int(op) % assoc
+				switch (int(op) / assoc) % 3 {
+				case 0:
+					p.Touch(0, way)
+					ref.promote(way)
+				case 1:
+					p.Insert(0, way)
+					ref.promote(way)
+				case 2:
+					p.Demote(0, way)
+					ref.demote(way)
+				}
+				if p.Victim(0) != ref[assoc-1] {
+					return false
+				}
+				for i, w := range ref {
+					if p.StackPosition(0, w) != i {
+						return false
+					}
+				}
 			}
-			if p.Victim(0) != ref[assoc-1] {
-				return false
-			}
+			return true
 		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
-		t.Error(err)
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("assoc %d: %v", assoc, err)
+		}
 	}
 }
 
-// TestLRUStackIsPermutation checks the internal stack remains a
-// permutation of the ways under random operations.
+// TestLRUStackIsPermutation checks the internal state remains a valid
+// permutation of the ways under random operations, in both
+// representations, using the same invariants the audit-mode CheckSet
+// enforces.
 func TestLRUStackIsPermutation(t *testing.T) {
-	const assoc = 8
-	f := func(ops []uint8) bool {
-		p := newLRU(1, assoc)
-		for _, op := range ops {
-			way := int(op) % assoc
-			switch (int(op) / assoc) % 3 {
-			case 0:
-				p.Touch(0, way)
-			case 1:
-				p.Insert(0, way)
-			case 2:
-				p.Demote(0, way)
-			}
-			seen := [assoc]bool{}
-			for _, w := range p.stack[0] {
-				if seen[w] {
-					return false
+	for _, assoc := range []int{8, 20} {
+		assoc := assoc
+		f := func(ops []uint8) bool {
+			p := newLRU(2, assoc)
+			for _, op := range ops {
+				way := int(op) % assoc
+				switch (int(op) / assoc) % 3 {
+				case 0:
+					p.Touch(0, way)
+				case 1:
+					p.Insert(0, way)
+				case 2:
+					p.Demote(0, way)
 				}
-				seen[w] = true
-			}
-			// pos must stay the inverse of stack.
-			for i, w := range p.stack[0] {
-				if int(p.pos[0][w]) != i {
-					return false
+				// Set 0 churns; set 1 must stay untouched and valid.
+				for s := 0; s < 2; s++ {
+					if p.CheckSet(s) != nil {
+						return false
+					}
 				}
 			}
+			return true
 		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
-		t.Error(err)
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("assoc %d: %v", assoc, err)
+		}
 	}
 }

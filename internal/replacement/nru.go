@@ -1,58 +1,77 @@
 package replacement
 
-// nru implements Not Recently Used replacement, the paper's baseline
-// LLC policy. Each line carries one reference bit; a reference sets the
-// bit, and when every bit in a set would become 1 all other bits are
-// cleared (a new "generation"). The victim is the lowest-indexed way
-// whose bit is clear, so at least one victim always exists.
-type nru struct {
+// NRUBits implements Not Recently Used replacement, the paper's
+// baseline LLC policy. Each line carries one reference bit; a reference
+// sets the bit, and when every bit in a set would become 1 all other
+// bits are cleared (a new "generation"). The victim is the
+// lowest-indexed way whose bit is clear, so at least one victim always
+// exists.
+//
+// The concrete type is exported so internal/cache can devirtualize the
+// hot path (see LRUStack). Reference bits live in one flat backing
+// array indexed set*assoc+way.
+type NRUBits struct {
 	assoc int
-	ref   [][]bool // ref[set][way]
-	live  []int    // number of set bits per set, to detect generations
+	ref   []bool  // ref[set*assoc+way]
+	live  []int32 // number of set bits per set, to detect generations
 }
 
-func newNRU(numSets, assoc int) *nru {
-	p := &nru{
+func newNRU(numSets, assoc int) *NRUBits {
+	return &NRUBits{
 		assoc: assoc,
-		ref:   make([][]bool, numSets),
-		live:  make([]int, numSets),
+		ref:   make([]bool, numSets*assoc),
+		live:  make([]int32, numSets),
 	}
-	for s := range p.ref {
-		p.ref[s] = make([]bool, assoc)
-	}
-	return p
 }
 
-func (p *nru) Name() string { return "NRU" }
+func (p *NRUBits) Name() string { return "NRU" }
+
+// ResetState clears every reference bit.
+func (p *NRUBits) ResetState() {
+	for i := range p.ref {
+		p.ref[i] = false
+	}
+	for i := range p.live {
+		p.live[i] = 0
+	}
+}
 
 // mark sets way's reference bit, starting a new generation if the set
 // would otherwise have every bit set.
-func (p *nru) mark(set, way int) {
-	if !p.ref[set][way] {
-		p.ref[set][way] = true
+func (p *NRUBits) mark(set, way int) {
+	base := set * p.assoc
+	if !p.ref[base+way] {
+		p.ref[base+way] = true
 		p.live[set]++
 	}
-	if p.live[set] == p.assoc {
-		for w := 0; w < p.assoc; w++ {
-			p.ref[set][w] = w == way
+	if int(p.live[set]) == p.assoc {
+		row := p.ref[base : base+p.assoc]
+		for w := range row {
+			row[w] = w == way
 		}
 		p.live[set] = 1
 	}
 }
 
-func (p *nru) Touch(set, way int)  { p.mark(set, way) }
-func (p *nru) Insert(set, way int) { p.mark(set, way) }
+// Touch records a reference to way.
+func (p *NRUBits) Touch(set, way int) { p.mark(set, way) }
 
-func (p *nru) Demote(set, way int) {
-	if p.ref[set][way] {
-		p.ref[set][way] = false
+// Insert records a fill into way.
+func (p *NRUBits) Insert(set, way int) { p.mark(set, way) }
+
+// Demote clears way's reference bit so it is the next victim candidate.
+func (p *NRUBits) Demote(set, way int) {
+	if p.ref[set*p.assoc+way] {
+		p.ref[set*p.assoc+way] = false
 		p.live[set]--
 	}
 }
 
-func (p *nru) Victim(set int) int {
-	for w := 0; w < p.assoc; w++ {
-		if !p.ref[set][w] {
+// Victim returns the lowest-indexed way with a clear reference bit.
+func (p *NRUBits) Victim(set int) int {
+	row := p.ref[set*p.assoc : set*p.assoc+p.assoc]
+	for w := range row {
+		if !row[w] {
 			return w
 		}
 	}

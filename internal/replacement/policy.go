@@ -91,6 +91,16 @@ type Policy interface {
 	Victim(set int) int
 }
 
+// StateResetter is an optional interface a Policy may implement to
+// return to its freshly constructed state in place. The cache layer
+// prefers it over rebuilding the policy, so warmup resets do not
+// reallocate replacement metadata. Implementations must reset ALL
+// adaptive state (recency orders, reference bits, fill counters,
+// set-dueling selectors).
+type StateResetter interface {
+	ResetState()
+}
+
 // New constructs a policy of the given kind for a cache with numSets
 // sets of assoc ways. It panics if the geometry is not positive, as a
 // misconfigured cache is a programming error.

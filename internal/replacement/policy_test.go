@@ -175,8 +175,8 @@ func TestSRRIPInsertHasLongReference(t *testing.T) {
 	if got := p.Victim(0); got != 0 {
 		t.Fatalf("victim = %d, want 0", got)
 	}
-	if p.rrpv[0][1] != p.max-1 {
-		t.Fatalf("inserted RRPV = %d, want %d", p.rrpv[0][1], p.max-1)
+	if p.rrpv[0*p.assoc+1] != p.max-1 {
+		t.Fatalf("inserted RRPV = %d, want %d", p.rrpv[0*p.assoc+1], p.max-1)
 	}
 }
 

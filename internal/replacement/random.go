@@ -24,6 +24,14 @@ func newRandom(numSets, assoc int) *random {
 
 func (p *random) Name() string { return "Random" }
 
+// ResetState rewinds the victim rng and unlatches every set.
+func (p *random) ResetState() {
+	p.state = 0x9e3779b97f4a7c15
+	for s := range p.victim {
+		p.victim[s] = -1
+	}
+}
+
 func (p *random) next() uint64 {
 	p.state ^= p.state << 13
 	p.state ^= p.state >> 7

@@ -1,49 +1,63 @@
 package replacement
 
-// srrip implements Static Re-Reference Interval Prediction with 2-bit
-// re-reference prediction values (RRPVs). Lines are inserted with a
-// "long" re-reference prediction (RRPV = max-1), promoted to "near
+// SRRIPTable implements Static Re-Reference Interval Prediction with
+// 2-bit re-reference prediction values (RRPVs). Lines are inserted with
+// a "long" re-reference prediction (RRPV = max-1), promoted to "near
 // immediate" (RRPV = 0) on a hit, and evicted when their RRPV reaches
 // the "distant" value (max). When no way is distant, all RRPVs age in
 // lockstep until one is.
-type srrip struct {
+//
+// The concrete type is exported so internal/cache can devirtualize the
+// hot path (see LRUStack). RRPVs live in one flat backing array indexed
+// set*assoc+way.
+type SRRIPTable struct {
 	assoc int
 	max   uint8
-	rrpv  [][]uint8
+	rrpv  []uint8 // rrpv[set*assoc+way]
 }
 
 const srripBits = 2
 
-func newSRRIP(numSets, assoc int) *srrip {
-	p := &srrip{
+func newSRRIP(numSets, assoc int) *SRRIPTable {
+	p := &SRRIPTable{
 		assoc: assoc,
 		max:   1<<srripBits - 1,
-		rrpv:  make([][]uint8, numSets),
+		rrpv:  make([]uint8, numSets*assoc),
 	}
-	for s := range p.rrpv {
-		p.rrpv[s] = make([]uint8, assoc)
-		for w := range p.rrpv[s] {
-			p.rrpv[s][w] = p.max
-		}
+	for i := range p.rrpv {
+		p.rrpv[i] = p.max
 	}
 	return p
 }
 
-func (p *srrip) Name() string { return "SRRIP" }
+func (p *SRRIPTable) Name() string { return "SRRIP" }
 
-func (p *srrip) Touch(set, way int)  { p.rrpv[set][way] = 0 }
-func (p *srrip) Insert(set, way int) { p.rrpv[set][way] = p.max - 1 }
-func (p *srrip) Demote(set, way int) { p.rrpv[set][way] = p.max }
+// ResetState marks every line distant, the fresh-table state.
+func (p *SRRIPTable) ResetState() {
+	for i := range p.rrpv {
+		p.rrpv[i] = p.max
+	}
+}
 
-func (p *srrip) Victim(set int) int {
-	rr := p.rrpv[set]
+// Touch promotes way to the near-immediate re-reference prediction.
+func (p *SRRIPTable) Touch(set, way int) { p.rrpv[set*p.assoc+way] = 0 }
+
+// Insert fills way with the long re-reference prediction.
+func (p *SRRIPTable) Insert(set, way int) { p.rrpv[set*p.assoc+way] = p.max - 1 }
+
+// Demote marks way distant, making it the next victim candidate.
+func (p *SRRIPTable) Demote(set, way int) { p.rrpv[set*p.assoc+way] = p.max }
+
+// Victim returns the first distant way, ageing the set until one exists.
+func (p *SRRIPTable) Victim(set int) int {
+	rr := p.rrpv[set*p.assoc : set*p.assoc+p.assoc]
 	for {
-		for w := 0; w < p.assoc; w++ {
+		for w := range rr {
 			if rr[w] == p.max {
 				return w
 			}
 		}
-		for w := 0; w < p.assoc; w++ {
+		for w := range rr {
 			rr[w]++
 		}
 	}

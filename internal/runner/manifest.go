@@ -188,9 +188,7 @@ func (c *Collector) Manifest(experiment string, workers int, wall time.Duration)
 			m.FailedJobs++
 		}
 	}
-	if secs := wall.Seconds(); secs > 0 {
-		m.AggregateIPS = float64(m.TotalInstructions) / secs
-	}
+	m.AggregateIPS = ipsOf(m.TotalInstructions, wall.Seconds())
 	return m
 }
 

@@ -147,9 +147,7 @@ func runJob[T any](ctx context.Context, cfg Config, i int, j Job[T]) (res Result
 		}
 		wall := time.Since(start)
 		res.Stat.WallSeconds = wall.Seconds()
-		if secs := wall.Seconds(); secs > 0 {
-			res.Stat.IPS = float64(j.Work) / secs
-		}
+		res.Stat.IPS = ipsOf(j.Work, wall.Seconds())
 		detail := ""
 		if res.Err != nil {
 			res.Stat.Error = res.Err.Error()
@@ -164,6 +162,17 @@ func runJob[T any](ctx context.Context, cfg Config, i int, j Job[T]) (res Result
 	}()
 	res.Value, res.Err = j.Run(ctx)
 	return
+}
+
+// ipsOf returns work/secs, or 0 when secs is not positive. A job that
+// completes within clock resolution must report zero throughput rather
+// than ±Inf or NaN — non-finite values would also make the manifest
+// unencodable (encoding/json rejects them).
+func ipsOf(work uint64, secs float64) float64 {
+	if secs <= 0 {
+		return 0
+	}
+	return float64(work) / secs
 }
 
 // FirstError returns the first per-job error in submission order, nil

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -306,6 +307,43 @@ func TestCollectorAndManifest(t *testing.T) {
 	}
 	if back.Env.GoVersion == "" || back.Env.OS == "" || back.Env.Arch == "" {
 		t.Errorf("manifest environment not self-describing: %+v", back.Env)
+	}
+}
+
+// TestZeroWallTimeThroughputIsZero pins the division guard: a job (or
+// whole run) that finishes within clock resolution reports 0
+// instructions/sec, never ±Inf or NaN. Non-finite values were the real
+// failure mode — encoding/json refuses to marshal them, so a single
+// instant job would make the entire manifest unwritable.
+func TestZeroWallTimeThroughputIsZero(t *testing.T) {
+	for _, tc := range []struct {
+		work uint64
+		secs float64
+		want float64
+	}{
+		{1000, 0, 0},  // work done in zero time: would be +Inf
+		{0, 0, 0},     // no work, no time: would be NaN
+		{1000, -1, 0}, // clock went backwards: would be negative
+		{1000, 0.5, 2000},
+	} {
+		got := ipsOf(tc.work, tc.secs)
+		if got != tc.want || math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Errorf("ipsOf(%d, %v) = %v, want %v", tc.work, tc.secs, got, tc.want)
+		}
+	}
+
+	// A zero-duration manifest must carry IPS 0 and still encode.
+	col := NewCollector()
+	col.add(JobStat{Index: 0, Name: "instant", Instructions: 1 << 20})
+	m := col.Manifest("instant", 1, 0)
+	if m.AggregateIPS != 0 {
+		t.Errorf("zero-wall manifest AggregateIPS = %v, want 0", m.AggregateIPS)
+	}
+	if _, err := json.Marshal(m); err != nil {
+		t.Fatalf("zero-wall manifest does not marshal: %v", err)
+	}
+	if err := WriteManifest(t.TempDir(), m); err != nil {
+		t.Fatalf("zero-wall manifest does not write: %v", err)
 	}
 }
 

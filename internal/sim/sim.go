@@ -197,7 +197,9 @@ func RunGenerators(cfg Config, streams []trace.Generator) (MixResult, error) {
 	}
 
 	n := cfg.Hierarchy.Cores
-	gens := make([]trace.Generator, n)
+	// Concrete *offsetGen slice: the per-instruction Next call in the
+	// run loop dispatches directly instead of through trace.Generator.
+	gens := make([]*offsetGen, n)
 	cores := make([]*cpu.Core, n)
 	names := make([]string, n)
 	for i := 0; i < n; i++ {
@@ -237,11 +239,32 @@ func RunGenerators(cfg Config, streams []trace.Generator) (MixResult, error) {
 	var auditor *hierarchy.Auditor // armed after warmup, when AuditEvery > 0
 	run := func(budget uint64, onBudget func(core int)) error {
 		remaining := n
+		// Memoized min-cycle selection: between full rescans only core
+		// c's clock moves, so c stays the pick while it beats the
+		// runner-up (second lowest cycle; on ties the lowest index
+		// wins, matching what a full scan would select). The rescan
+		// runs only when c falls behind, not once per instruction.
+		const maxCycle = ^uint64(0)
+		c := 0
+		runnerVal, runnerIdx := maxCycle, n
+		rescan := true
 		for remaining > 0 {
-			c := 0
-			for i := 1; i < n; i++ {
-				if cores[i].Cycle() < cores[c].Cycle() {
-					c = i
+			if cy := cores[c].Cycle(); cy > runnerVal || (cy == runnerVal && c > runnerIdx) {
+				rescan = true
+			}
+			if rescan {
+				rescan = false
+				c = 0
+				for i := 1; i < n; i++ {
+					if cores[i].Cycle() < cores[c].Cycle() {
+						c = i
+					}
+				}
+				runnerVal, runnerIdx = maxCycle, n
+				for i := 0; i < n; i++ {
+					if i != c && cores[i].Cycle() < runnerVal {
+						runnerVal, runnerIdx = cores[i].Cycle(), i
+					}
 				}
 			}
 			gens[c].Next(&in)

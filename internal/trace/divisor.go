@@ -1,0 +1,67 @@
+package trace
+
+import "math/bits"
+
+// divisor precomputes a multiply-shift reduction for x mod d, replacing
+// the hardware 64-bit divide that a variable `x % d` compiles to. The
+// synthetic generator draws two to four bounded random numbers per
+// instruction, so those divides dominate trace-generation cost; the
+// divisors (branch period, code footprint, component weights and
+// working-set sizes) are all fixed per generator, which makes the
+// precomputation pay for itself immediately.
+//
+// The reduction is exact — bit-identical to %, verified against it in
+// tests — so generated streams are unchanged.
+type divisor struct {
+	d    uint64
+	m    uint64 // low 64 bits of the 65-bit magic multiplier
+	sh   uint   // post shift (ceil(log2 d) - 1)
+	mask uint64 // d-1 when d is a power of two
+	pow2 bool
+}
+
+// newDivisor prepares the reduction for d > 0.
+func newDivisor(d uint64) divisor {
+	if d == 0 {
+		panic("trace: divisor 0")
+	}
+	if d&(d-1) == 0 {
+		return divisor{d: d, mask: d - 1, pow2: true}
+	}
+	// Granlund–Montgomery round-up magic: with l = ceil(log2 d) and
+	// p = 64 + l, the multiplier M = floor(2^p / d) + 1 satisfies
+	// floor(x*M / 2^p) == floor(x/d) for every 64-bit x (the magic is
+	// 65 bits; m holds its low 64 and the implicit top bit is folded
+	// into the overflow-free shift sequence in mod).
+	l := uint(bits.Len64(d - 1)) // ceil(log2 d); d is not a power of two
+	// floor(2^(64+l)/d) = 2^64 + floor((2^l - d)*2^64 / d); the Div64
+	// precondition holds because d > 2^(l-1) implies 2^l - d < d.
+	q, _ := bits.Div64((uint64(1)<<l)-d, 0, d)
+	return divisor{d: d, m: q + 1, sh: l - 1}
+}
+
+// belowDiv returns a pseudo-random integer in [0, dv.d), drawing one
+// rng value exactly like below(dv.d) and reducing it without a divide.
+func (r *rng) belowDiv(dv *divisor) uint64 { return dv.mod(r.next()) }
+
+// perMille returns true with probability num/1000. It mirrors
+// chance(num, 1000) — including drawing no random number when num is
+// zero — but the constant modulus lets the compiler strength-reduce the
+// divide.
+func (r *rng) perMille(num uint64) bool {
+	if num == 0 {
+		return false
+	}
+	return r.next()%1000 < num
+}
+
+// mod returns x % dv.d.
+func (dv *divisor) mod(x uint64) uint64 {
+	if dv.pow2 {
+		return x & dv.mask
+	}
+	t, _ := bits.Mul64(x, dv.m)
+	// (x + t) >> l without 64-bit overflow: see Hacker's Delight 10-9.
+	q := (t + (x-t)>>1) >> dv.sh
+	return x - q*dv.d
+}

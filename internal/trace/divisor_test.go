@@ -1,0 +1,49 @@
+package trace
+
+import "testing"
+
+// TestDivisorMatchesHardwareMod verifies the magic-multiply reduction is
+// bit-identical to % across divisor shapes (small, power-of-two,
+// near-power-of-two, large) and argument edge cases including the top
+// of the 64-bit range.
+func TestDivisorMatchesHardwareMod(t *testing.T) {
+	divisors := []uint64{
+		1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 15, 16, 17, 31, 32, 33, 63, 64, 65,
+		100, 127, 128, 129, 999, 1000, 1001, 1024, 4096, 1 << 20,
+		1<<20 - 1, 1<<20 + 1, 1 << 33, 1<<33 - 1, 1<<33 + 5,
+		1<<63 - 1, 1 << 63, 1<<63 + 3, ^uint64(0), ^uint64(0) - 1,
+	}
+	edges := []uint64{0, 1, 2, 3, 1<<32 - 1, 1 << 32, 1<<32 + 1, 1<<63 - 1, 1 << 63, ^uint64(0), ^uint64(0) - 1}
+	r := rng{state: 0xdeadbeef}
+	for _, d := range divisors {
+		dv := newDivisor(d)
+		for _, x := range edges {
+			if got, want := dv.mod(x), x%d; got != want {
+				t.Fatalf("divisor %d: mod(%d) = %d, want %d", d, x, got, want)
+			}
+		}
+		for _, delta := range []uint64{0, 1, 2} {
+			for _, x := range []uint64{d - 1, d, d + 1, 2*d - 1, 2 * d, 3 * d} {
+				x += delta
+				if got, want := dv.mod(x), x%d; got != want {
+					t.Fatalf("divisor %d: mod(%d) = %d, want %d", d, x, got, want)
+				}
+			}
+		}
+		for i := 0; i < 200000; i++ {
+			x := r.next()
+			if got, want := dv.mod(x), x%d; got != want {
+				t.Fatalf("divisor %d: mod(%d) = %d, want %d", d, x, got, want)
+			}
+		}
+	}
+}
+
+func TestDivisorZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("newDivisor(0) did not panic")
+		}
+	}()
+	newDivisor(0)
+}

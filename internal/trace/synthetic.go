@@ -53,8 +53,8 @@ func (p *Profile) Validate() error {
 	if p.Name == "" {
 		return fmt.Errorf("profile has no name")
 	}
-	if p.CodeBytes <= 0 {
-		return fmt.Errorf("profile %s: CodeBytes = %d", p.Name, p.CodeBytes)
+	if p.CodeBytes < instrBytes {
+		return fmt.Errorf("profile %s: CodeBytes = %d, need at least one %d-byte instruction", p.Name, p.CodeBytes, instrBytes)
 	}
 	if p.BranchEvery <= 0 {
 		return fmt.Errorf("profile %s: BranchEvery = %d", p.Name, p.BranchEvery)
@@ -74,6 +74,9 @@ func (p *Profile) Validate() error {
 		}
 		if c.WS <= 0 {
 			return fmt.Errorf("profile %s component %d: WS %d", p.Name, i, c.WS)
+		}
+		if c.Pattern == Random && c.WS < wordAlign {
+			return fmt.Errorf("profile %s component %d: random WS %d below word size %d", p.Name, i, c.WS, wordAlign)
 		}
 		if c.Pattern == Stream && c.Stride <= 0 {
 			return fmt.Errorf("profile %s component %d: stream stride %d", p.Name, i, c.Stride)
@@ -119,6 +122,14 @@ type Synthetic struct {
 	totalWeight uint64
 	cursors     []int64  // per-component stream cursor
 	bases       []uint64 // per-component skewed region base
+
+	// Precomputed magic divisors for every bounded draw in Next, so the
+	// per-instruction path performs no hardware divides. Reductions are
+	// bit-identical to %, leaving generated streams unchanged.
+	branchDiv divisor   // BranchEvery
+	codeDiv   divisor   // CodeBytes / instrBytes
+	weightDiv divisor   // totalWeight
+	wordDivs  []divisor // per-component WS / wordAlign (Random pattern)
 }
 
 // NewSynthetic builds a generator for prof seeded with seed. Invalid
@@ -134,8 +145,17 @@ func NewSynthetic(prof Profile, seed uint64) (*Synthetic, error) {
 	g.cursors = make([]int64, len(prof.Components))
 	g.codeStart = codeBase + skew(seed, len(prof.Components))
 	g.bases = make([]uint64, len(prof.Components))
+	g.wordDivs = make([]divisor, len(prof.Components))
 	for i := range g.bases {
 		g.bases[i] = dataBase + uint64(i)*uint64(componentSpan) + skew(seed, i)
+		if prof.Components[i].Pattern == Random {
+			g.wordDivs[i] = newDivisor(uint64(prof.Components[i].WS) / wordAlign)
+		}
+	}
+	g.branchDiv = newDivisor(uint64(prof.BranchEvery))
+	g.codeDiv = newDivisor(uint64(prof.CodeBytes) / instrBytes)
+	if g.totalWeight > 0 {
+		g.weightDiv = newDivisor(g.totalWeight)
 	}
 	g.Reset()
 	return g, nil
@@ -168,13 +188,15 @@ func (g *Synthetic) Reset() {
 	}
 }
 
-// Next generates the next instruction.
+// Next generates the next instruction. Every bounded draw goes through
+// a precomputed divisor (bit-identical to the % it replaces), keeping
+// the per-instruction path free of hardware divides.
 func (g *Synthetic) Next(in *Instr) {
 	in.PC = g.pc
 	// Advance the PC: mostly sequential, occasionally a taken branch to
 	// a random instruction within the code footprint.
-	if g.rng.chance(1, uint64(g.prof.BranchEvery)) {
-		g.pc = g.codeStart + g.rng.below(uint64(g.prof.CodeBytes)/instrBytes)*instrBytes
+	if g.rng.belowDiv(&g.branchDiv) == 0 {
+		g.pc = g.codeStart + g.rng.belowDiv(&g.codeDiv)*instrBytes
 	} else {
 		g.pc += instrBytes
 		if g.pc >= g.codeStart+uint64(g.prof.CodeBytes) {
@@ -182,11 +204,11 @@ func (g *Synthetic) Next(in *Instr) {
 		}
 	}
 
-	if !g.rng.chance(uint64(g.prof.MemPerMille), 1000) {
+	if !g.rng.perMille(uint64(g.prof.MemPerMille)) {
 		in.Op, in.Addr = OpNone, 0
 		return
 	}
-	if g.rng.chance(uint64(g.prof.StorePerMille), 1000) {
+	if g.rng.perMille(uint64(g.prof.StorePerMille)) {
 		in.Op = OpStore
 	} else {
 		in.Op = OpLoad
@@ -199,7 +221,7 @@ func (g *Synthetic) pickComponent() int {
 	if len(g.prof.Components) == 1 {
 		return 0
 	}
-	n := g.rng.below(g.totalWeight)
+	n := g.rng.belowDiv(&g.weightDiv)
 	for i, c := range g.prof.Components {
 		if n < uint64(c.Weight) {
 			return i
@@ -222,7 +244,6 @@ func (g *Synthetic) dataAddr(i int) uint64 {
 		}
 		return base + uint64(off)
 	default: // Random
-		words := uint64(c.WS) / wordAlign
-		return base + g.rng.below(words)*wordAlign
+		return base + g.rng.belowDiv(&g.wordDivs[i])*wordAlign
 	}
 }
