@@ -9,17 +9,29 @@
 //	panicmsg           package-prefixed panics, no bare panic(err)
 //	counterdiscipline  Traffic/Recorder counters only ever incremented
 //	floatcmp           no ==/!= on floats in metrics/experiments
+//	hotpath            no heap allocation reachable from //tlavet:hotpath
+//	                   roots (interprocedural, call chains in findings)
+//	lockdiscipline     runner/telemetry mutex discipline
 //
 // Usage:
 //
 //	tlavet ./...                 # analyze the whole module
 //	tlavet ./internal/...        # restrict to a subtree
-//	tlavet -checks panicmsg ./...
+//	tlavet -checks hotpath ./...
 //	tlavet -json ./...           # findings as a JSON array on stdout
 //	tlavet -out findings.json ./...  # text to stdout, JSON to a file
+//	tlavet -baseline tlavet.baseline.json ./...   # suppress accepted findings
+//	tlavet -baseline b.json -update-baseline ./...  # regenerate the baseline
+//	tlavet -baseline b.json -fail-stale ./...       # ratchet: stale entries fail
 //
-// Exit status: 0 when clean, 1 when findings were reported, 2 on usage
-// or load errors.
+// Individual findings are suppressed in source with a justified
+// directive on or above the offending line:
+//
+//	//tlavet:allow <check> <reason>
+//
+// Exit status: 0 when clean, 1 when findings were reported (or, with
+// -fail-stale, when the baseline has stale entries), 2 on usage or load
+// errors.
 package main
 
 import (
@@ -46,6 +58,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	checks := fs.String("checks", "all", "comma-separated checks to run")
 	list := fs.Bool("list", false, "list available checks and exit")
 	dir := fs.String("C", ".", "directory to locate the module from")
+	baseline := fs.String("baseline", "", "suppress findings recorded in this baseline file")
+	updateBaseline := fs.Bool("update-baseline", false, "rewrite the -baseline file from current findings and exit clean")
+	failStale := fs.Bool("fail-stale", false, "exit 1 when the -baseline file has entries no finding matches (ratchet)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -57,9 +72,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *list {
 		for _, a := range analysis.Analyzers() {
-			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
+			scope := "package"
+			if a.Interprocedural() {
+				scope = "module"
+			}
+			enabled := "default"
+			if !a.Default {
+				enabled = "opt-in"
+			}
+			fmt.Fprintf(stdout, "%-18s [%s, %s] %s\n", a.Name, enabled, scope, a.Doc)
 		}
 		return 0
+	}
+	if (*updateBaseline || *failStale) && *baseline == "" {
+		fmt.Fprintln(stderr, "tlavet: -update-baseline and -fail-stale require -baseline")
+		return 2
 	}
 
 	root, err := findModuleRoot(*dir)
@@ -79,6 +106,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	diags := analysis.RunModule(mod, analyzers, filter)
+
+	staleFailure := false
+	if *baseline != "" {
+		if *updateBaseline {
+			if err := analysis.NewBaseline(diags).WriteFile(*baseline); err != nil {
+				fmt.Fprintln(stderr, "tlavet:", err)
+				return 2
+			}
+			fmt.Fprintf(stderr, "tlavet: baseline %s updated (%d finding(s) recorded)\n", *baseline, len(diags))
+			return 0
+		}
+		b, err := analysis.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "tlavet:", err)
+			return 2
+		}
+		fresh, stale := b.Filter(diags)
+		diags = fresh
+		for _, e := range stale {
+			fmt.Fprintf(stderr, "tlavet: stale baseline entry: %s: %s: %s (x%d no longer found)\n",
+				e.File, e.Analyzer, e.Message, e.Count)
+		}
+		if len(stale) > 0 && *failStale {
+			fmt.Fprintf(stderr, "tlavet: %d stale baseline entr(y/ies); regenerate with -update-baseline to ratchet down\n", len(stale))
+			staleFailure = true
+		}
+	}
 
 	if *outFile != "" {
 		if err := writeJSON(*outFile, diags); err != nil {
@@ -104,7 +158,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "tlavet: %d finding(s)\n", len(diags))
 		}
 	}
-	if len(diags) > 0 {
+	if len(diags) > 0 || staleFailure {
 		return 1
 	}
 	return 0

@@ -30,27 +30,45 @@ type Diagnostic struct {
 	Analyzer   string `json:"analyzer"`
 	Message    string `json:"message"`
 	Suggestion string `json:"suggestion,omitempty"`
+	// Chain, set by interprocedural analyzers, is the call path from an
+	// annotated root to the function containing the finding, root first.
+	Chain []string `json:"chain,omitempty"`
 }
 
 // String renders the diagnostic in the conventional compiler format.
+// Interprocedural findings append their root→site call chain.
 func (d Diagnostic) String() string {
 	s := fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
 	if d.Suggestion != "" {
 		s += " (" + d.Suggestion + ")"
 	}
+	if len(d.Chain) > 0 {
+		s += "\n\tvia " + strings.Join(d.Chain, " → ")
+	}
 	return s
 }
 
-// Analyzer is one named check. Run inspects a single package through
-// its Pass and reports findings; it must not retain the Pass.
+// Analyzer is one named check. Exactly one of Run and RunModule is set:
+// per-package checks inspect one package through a Pass, interprocedural
+// checks see the whole module at once through a ModulePass. Neither may
+// retain its pass.
 type Analyzer struct {
 	// Name is the check's identifier, used in diagnostics and -checks.
 	Name string
 	// Doc is a one-line description for `tlavet -list`.
 	Doc string
-	// Run executes the check against pass.Pkg.
+	// Default reports whether the check runs when -checks selects "all".
+	// Every check can still be selected explicitly by name.
+	Default bool
+	// Run executes a per-package check against pass.Pkg.
 	Run func(pass *Pass)
+	// RunModule executes an interprocedural check against mp.Module.
+	RunModule func(mp *ModulePass)
 }
+
+// Interprocedural reports whether the check needs the whole module
+// (call-graph construction) rather than one package at a time.
+func (a *Analyzer) Interprocedural() bool { return a.RunModule != nil }
 
 // Pass carries one (analyzer, package) unit of work.
 type Pass struct {
@@ -59,27 +77,117 @@ type Pass struct {
 	Pkg      *Package
 	// Root, when non-empty, is the directory diagnostics' file paths are
 	// made relative to.
-	Root  string
-	diags *[]Diagnostic
+	Root   string
+	diags  *[]Diagnostic
+	allows allowIndex
 }
 
-// Report records a finding at pos.
+// Report records a finding at pos unless a `//tlavet:allow` directive
+// suppresses it.
 func (p *Pass) Report(pos token.Pos, msg, suggestion string) {
-	position := p.Fset.Position(pos)
+	if p.allows == nil {
+		p.allows = buildAllowIndex(p.Fset, p.Pkg.Files)
+	}
+	report(p.Fset, p.Root, p.Analyzer.Name, p.allows, p.diags, pos, msg, suggestion, nil)
+}
+
+// ModulePass carries one (interprocedural analyzer, module) unit of
+// work.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Module   *Module
+	// Root, when non-empty, relativises diagnostics' file paths.
+	Root   string
+	diags  *[]Diagnostic
+	allows allowIndex
+}
+
+// Report records a finding at pos, carrying the analyzer's root→site
+// call chain, unless a `//tlavet:allow` directive suppresses it.
+func (mp *ModulePass) Report(pos token.Pos, msg, suggestion string, chain []string) {
+	if mp.allows == nil {
+		var files []*ast.File
+		for _, pkg := range mp.Module.Pkgs {
+			files = append(files, pkg.Files...)
+		}
+		mp.allows = buildAllowIndex(mp.Fset, files)
+	}
+	report(mp.Fset, mp.Root, mp.Analyzer.Name, mp.allows, mp.diags, pos, msg, suggestion, chain)
+}
+
+// report is the shared diagnostic sink behind Pass and ModulePass.
+func report(fset *token.FileSet, root, analyzer string, allows allowIndex,
+	diags *[]Diagnostic, pos token.Pos, msg, suggestion string, chain []string) {
+	position := fset.Position(pos)
+	if allows.allowed(analyzer, position.Filename, position.Line) {
+		return
+	}
 	file := position.Filename
-	if p.Root != "" {
-		if rel, err := filepath.Rel(p.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
 			file = rel
 		}
 	}
-	*p.diags = append(*p.diags, Diagnostic{
+	*diags = append(*diags, Diagnostic{
 		File:       file,
 		Line:       position.Line,
 		Col:        position.Column,
-		Analyzer:   p.Analyzer.Name,
+		Analyzer:   analyzer,
 		Message:    msg,
 		Suggestion: suggestion,
+		Chain:      chain,
 	})
+}
+
+// allowIndex maps file → line → the check names a `//tlavet:allow`
+// directive suppresses there. A directive written on its own line
+// suppresses the line below it; a trailing directive suppresses its own
+// line. Directives must carry a reason (`//tlavet:allow <check>
+// <reason>`); a reasonless directive suppresses nothing, so suppressions
+// stay auditable.
+type allowIndex map[string]map[int][]string
+
+func (ai allowIndex) allowed(check, file string, line int) bool {
+	byLine := ai[file]
+	if byLine == nil {
+		return false
+	}
+	for _, l := range [2]int{line, line - 1} {
+		for _, name := range byLine[l] {
+			if name == check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildAllowIndex collects every well-formed allow directive in files.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	ai := make(allowIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//tlavet:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // no reason given: not a valid suppression
+				}
+				position := fset.Position(c.Pos())
+				byLine := ai[position.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					ai[position.Filename] = byLine
+				}
+				byLine[position.Line] = append(byLine[position.Line], fields[0])
+			}
+		}
+	}
+	return ai
 }
 
 // TypeOf returns the static type of e, or nil when unknown.
@@ -106,15 +214,24 @@ func Analyzers() []*Analyzer {
 		PanicMsgAnalyzer,
 		CounterDisciplineAnalyzer,
 		FloatCmpAnalyzer,
+		HotPathAnalyzer,
+		LockDisciplineAnalyzer,
 	}
 }
 
-// Select resolves a comma-separated -checks list ("" or "all" selects
-// everything) against the registry.
+// Select resolves a comma-separated -checks list against the registry.
+// "" or "all" selects every default-enabled check; default-off checks
+// must be named explicitly.
 func Select(list string) ([]*Analyzer, error) {
 	all := Analyzers()
 	if list == "" || list == "all" {
-		return all, nil
+		var out []*Analyzer
+		for _, a := range all {
+			if a.Default {
+				out = append(out, a)
+			}
+		}
+		return out, nil
 	}
 	byName := make(map[string]*Analyzer, len(all))
 	for _, a := range all {
@@ -134,9 +251,19 @@ func Select(list string) ([]*Analyzer, error) {
 
 // RunPackage runs the given analyzers over one loaded package,
 // returning findings sorted by position. root relativises file paths.
+// Interprocedural analyzers see the package as a one-package module —
+// this is how the golden fixtures exercise them.
 func RunPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, root string) []Diagnostic {
 	var diags []Diagnostic
+	var single *Module
 	for _, a := range analyzers {
+		if a.Interprocedural() {
+			if single == nil {
+				single = &Module{Root: root, Path: pkg.Path, Fset: fset, Pkgs: []*Package{pkg}}
+			}
+			a.RunModule(&ModulePass{Analyzer: a, Fset: fset, Module: single, Root: root, diags: &diags})
+			continue
+		}
 		pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, Root: root, diags: &diags}
 		a.Run(pass)
 	}
@@ -145,14 +272,33 @@ func RunPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, root s
 }
 
 // RunModule runs the given analyzers over every package of m whose
-// import path is accepted by filter (nil accepts all).
+// import path is accepted by filter (nil accepts all). Per-package
+// analyzers run once per accepted package; interprocedural analyzers
+// run once over the whole module — their call graphs must see every
+// package regardless of the filter — when at least one package is
+// accepted.
 func RunModule(m *Module, analyzers []*Analyzer, filter func(pkgPath string) bool) []Diagnostic {
 	var diags []Diagnostic
+	anyAccepted := false
 	for _, pkg := range m.Pkgs {
 		if filter != nil && !filter(pkg.Path) {
 			continue
 		}
-		diags = append(diags, RunPackage(m.Fset, pkg, analyzers, m.Root)...)
+		anyAccepted = true
+		for _, a := range analyzers {
+			if a.Interprocedural() {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Fset: m.Fset, Pkg: pkg, Root: m.Root, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	if anyAccepted {
+		for _, a := range analyzers {
+			if a.Interprocedural() {
+				a.RunModule(&ModulePass{Analyzer: a, Fset: m.Fset, Module: m, Root: m.Root, diags: &diags})
+			}
+		}
 	}
 	sortDiagnostics(diags)
 	return diags

@@ -19,6 +19,8 @@ var fixtureCases = []struct {
 	{PanicMsgAnalyzer, "panicmsg", "tlacache/internal/widget"},
 	{CounterDisciplineAnalyzer, "counterdiscipline", "tlacache/internal/flux"},
 	{FloatCmpAnalyzer, "floatcmp", "tlacache/internal/metrics"},
+	{HotPathAnalyzer, "hotpath", "tlacache/internal/hotpath"},
+	{LockDisciplineAnalyzer, "lockdiscipline", "tlacache/internal/runner"},
 }
 
 // TestGoldenFixtures checks every analyzer against its fixture: each

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baselines let tlavet gate a codebase that is not yet clean: a
+// committed tlavet.baseline.json records the accepted findings, the CI
+// gate suppresses exactly those, and anything new fails the build. The
+// committed file only ever shrinks (the ratchet): stale entries —
+// baselined findings that no longer occur — are reported so the
+// baseline can be regenerated smaller, and the CI ratchet job fails
+// when regeneration would delete entries that are still in the file.
+//
+// Entries are keyed by (analyzer, file, message) with an occurrence
+// count, deliberately omitting line numbers: unrelated edits move
+// findings around a file without changing what was accepted, and a
+// count-keyed entry still catches the same mistake being made a second
+// time in that file.
+
+// BaselineEntry is one accepted finding class.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// Baseline is the committed set of accepted findings.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// NewBaseline condenses diags into a baseline, merging findings that
+// share (analyzer, file, message) into counted entries sorted for
+// stable serialisation.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	counts := make(map[baselineKey]int)
+	for _, d := range diags {
+		counts[baselineKey{d.Analyzer, d.File, d.Message}]++
+	}
+	b := &Baseline{Entries: make([]BaselineEntry, 0, len(counts))}
+	for k, n := range counts {
+		b.Entries = append(b.Entries, BaselineEntry{
+			Analyzer: k.analyzer, File: k.file, Message: k.message, Count: n,
+		})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// LoadBaseline reads a baseline file written by WriteFile.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteFile serialises the baseline deterministically (sorted entries,
+// indented JSON, trailing newline) so regeneration diffs cleanly.
+func (b *Baseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits diags into the findings not covered by the baseline
+// (new — these should fail the build) and returns alongside them the
+// stale entries: baseline capacity no current finding used, meaning the
+// baseline can and should shrink.
+func (b *Baseline) Filter(diags []Diagnostic) (fresh []Diagnostic, stale []BaselineEntry) {
+	remaining := make(map[baselineKey]int, len(b.Entries))
+	for _, e := range b.Entries {
+		remaining[baselineKey{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, d.File, d.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range b.Entries {
+		k := baselineKey{e.Analyzer, e.File, e.Message}
+		if remaining[k] > 0 {
+			e.Count = remaining[k]
+			remaining[k] = 0
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestBaselineFilterCounts checks the count semantics of the
+// line-independent baseline key: a baselined (analyzer, file, message)
+// class absorbs up to Count findings wherever they move in the file,
+// the surplus stays fresh, and unused capacity comes back as stale.
+func TestBaselineFilterCounts(t *testing.T) {
+	mk := func(line int, msg string) Diagnostic {
+		return Diagnostic{File: "a.go", Line: line, Analyzer: "hotpath", Message: msg}
+	}
+	diags := []Diagnostic{mk(3, "make allocates"), mk(90, "make allocates"), mk(7, "new allocates")}
+	b := NewBaseline([]Diagnostic{mk(10, "make allocates"), mk(11, "make allocates")})
+
+	fresh, stale := b.Filter(diags)
+	if len(fresh) != 1 || fresh[0].Message != "new allocates" {
+		t.Fatalf("fresh = %v, want only the new-allocates finding", fresh)
+	}
+	if len(stale) != 0 {
+		t.Fatalf("stale = %v, want none (both baseline slots used)", stale)
+	}
+
+	// With the findings gone, the whole entry is stale at full count.
+	fresh, stale = b.Filter(nil)
+	if len(fresh) != 0 || len(stale) != 1 || stale[0].Count != 2 {
+		t.Fatalf("Filter(nil) = fresh %v stale %v, want one stale entry of count 2", fresh, stale)
+	}
+}
+
+// TestBaselineRoundTripFile checks WriteFile/LoadBaseline are inverses
+// and serialisation is deterministic.
+func TestBaselineRoundTripFile(t *testing.T) {
+	b := NewBaseline([]Diagnostic{
+		{File: "b.go", Analyzer: "lockdiscipline", Message: "m2"},
+		{File: "a.go", Analyzer: "hotpath", Message: "m1"},
+		{File: "a.go", Analyzer: "hotpath", Message: "m1"},
+	})
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Fatalf("round trip = %+v, want %+v", got, b)
+	}
+	if b.Entries[0].Analyzer != "hotpath" || b.Entries[0].Count != 2 {
+		t.Fatalf("entries not sorted/merged: %+v", b.Entries)
+	}
+}
+
+// TestAllowDirectiveRequiresReason checks the suppression contract: a
+// directive suppresses its own line and the line below, only for the
+// named check, and only when a reason is given.
+func TestAllowDirectiveRequiresReason(t *testing.T) {
+	src := `package p
+
+//tlavet:allow hotpath bounded by construction
+var a = 1
+
+//tlavet:allow hotpath
+var b = 2
+
+var c = 3 //tlavet:allow lockdiscipline fixture says so
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai := buildAllowIndex(fset, []*ast.File{f})
+	cases := []struct {
+		check string
+		line  int
+		want  bool
+	}{
+		{"hotpath", 4, true},         // line below a reasoned directive
+		{"hotpath", 3, true},         // the directive's own line
+		{"hotpath", 7, false},        // reasonless directive suppresses nothing
+		{"lockdiscipline", 9, true},  // trailing directive, same line
+		{"hotpath", 9, false},        // wrong check name
+		{"lockdiscipline", 10, true}, // line below a trailing directive is also covered
+	}
+	for _, c := range cases {
+		if got := ai.allowed(c.check, "allow.go", c.line); got != c.want {
+			t.Errorf("allowed(%s, line %d) = %v, want %v", c.check, c.line, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds tlavet's module-wide call graph, the substrate of
+// the interprocedural checks. The graph is conservative in the
+// direction the hot-path guarantee needs: an edge is added whenever a
+// call MIGHT reach a function, so reachability over-approximates and a
+// clean report really means clean.
+//
+// Resolution covers the three call shapes the simulator uses:
+//
+//   - direct calls to package-level functions and concrete methods
+//     (including the devirtualized replacement-policy ladder, where
+//     internal/cache calls *replacement.LRUStack methods directly);
+//   - interface method calls, resolved by implements-matching: an edge
+//     is added to every method of every named type in the module whose
+//     (pointer) method set satisfies the interface — this is how a call
+//     through replacement.Policy or telemetry.Probe fans out to the
+//     concrete implementations;
+//   - function literals, whose bodies are attributed to the enclosing
+//     declared function (a closure runs at most where its creator could
+//     run, so this keeps reachability conservative without modelling
+//     function values).
+//
+// Calls through function-typed variables other than literals (stored
+// callbacks) are not resolved; the simulator's hot path has none, and
+// the escape scanner independently flags closure creation on hot paths
+// so a callback cannot silently smuggle an allocation in.
+
+// callSite is one resolved call edge.
+type callSite struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// cgNode is one declared function in the call graph.
+type cgNode struct {
+	fn    *types.Func
+	decl  *ast.FuncDecl
+	pkg   *Package
+	calls []callSite
+}
+
+// callGraph is the module-wide call graph, keyed by the canonical
+// (generic-origin) *types.Func of each declared function.
+type callGraph struct {
+	module *Module
+	nodes  map[*types.Func]*cgNode
+	// namedTypes lists every named (non-interface) type declared in the
+	// module, for implements-matching.
+	namedTypes []*types.Named
+}
+
+// buildCallGraph constructs the call graph of every non-test function
+// declared in m.
+func buildCallGraph(m *Module) *callGraph {
+	g := &callGraph{module: m, nodes: make(map[*types.Func]*cgNode)}
+	g.collectNamedTypes()
+
+	// First pass: one node per declared function, so edge resolution can
+	// recognise module-internal callees.
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					g.nodes[canonical(fn)] = &cgNode{fn: canonical(fn), decl: fd, pkg: pkg}
+				}
+			}
+		}
+	}
+	// Second pass: resolve the calls in each body.
+	for _, n := range g.nodes {
+		g.resolveCalls(n)
+	}
+	return g
+}
+
+// canonical maps an instantiated generic function or method back to its
+// declared origin, so each declaration is a single graph node.
+func canonical(fn *types.Func) *types.Func {
+	if o := fn.Origin(); o != nil {
+		return o
+	}
+	return fn
+}
+
+// collectNamedTypes gathers the module's named non-interface types.
+func (g *callGraph) collectNamedTypes() {
+	for _, pkg := range g.module.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			g.namedTypes = append(g.namedTypes, named)
+		}
+	}
+	sort.Slice(g.namedTypes, func(i, j int) bool {
+		return g.namedTypes[i].Obj().Id() < g.namedTypes[j].Obj().Id()
+	})
+}
+
+// resolveCalls walks n's body (function literals included) and records
+// every call edge it can resolve.
+func (g *callGraph) resolveCalls(n *cgNode) {
+	ast.Inspect(n.decl, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, callee := range g.callees(n.pkg, call) {
+			n.calls = append(n.calls, callSite{callee: callee, pos: call.Pos()})
+		}
+		return true
+	})
+}
+
+// callees resolves one call expression to the module functions it may
+// invoke (empty for builtins, conversions, stdlib calls, and dynamic
+// calls through function values).
+func (g *callGraph) callees(pkg *Package, call *ast.CallExpr) []*types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return []*types.Func{canonical(fn)}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			m := sel.Obj().(*types.Func)
+			if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+				return g.implementers(iface, m.Name())
+			}
+			return []*types.Func{canonical(m)}
+		}
+		// Package-qualified call (pkg.Fn): no Selection entry, but the
+		// selector identifier resolves directly.
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return []*types.Func{canonical(fn)}
+		}
+	}
+	return nil
+}
+
+// implementers returns, for an interface method call, the named method
+// of every module type whose pointer method set satisfies the
+// interface. Matching the whole interface (not just the one method)
+// keeps the fan-out to types that can actually flow into the call.
+func (g *callGraph) implementers(iface *types.Interface, method string) []*types.Func {
+	var out []*types.Func
+	for _, named := range g.namedTypes {
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		if m := methodByName(named, method); m != nil {
+			out = append(out, canonical(m))
+		}
+	}
+	return out
+}
+
+// methodByName finds a (possibly promoted) method in named's pointer
+// method set.
+func methodByName(named *types.Named, name string) *types.Func {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < ms.Len(); i++ {
+		if fn, ok := ms.At(i).Obj().(*types.Func); ok && fn.Name() == name {
+			return fn
+		}
+	}
+	return nil
+}
+
+// displayName renders fn for call chains and root lists:
+// "pkg.Func" for package functions, "pkg.Recv.Method" for methods.
+func displayName(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkg + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
+}
+
+// reachableFrom runs a multi-source BFS from roots and returns, for
+// every reachable node, the shortest root→node call path (root first,
+// node last, rendered with displayName). Iteration order is made
+// deterministic by sorting each frontier.
+func (g *callGraph) reachableFrom(roots []*types.Func) map[*cgNode][]string {
+	chains := make(map[*cgNode][]string)
+	frontier := make([]*cgNode, 0, len(roots))
+	seen := make(map[*cgNode]bool)
+	for _, r := range roots {
+		if n := g.nodes[canonical(r)]; n != nil && !seen[n] {
+			seen[n] = true
+			chains[n] = []string{displayName(n.fn)}
+			frontier = append(frontier, n)
+		}
+	}
+	sortNodes(frontier)
+	for len(frontier) > 0 {
+		var next []*cgNode
+		for _, n := range frontier {
+			for _, cs := range n.calls {
+				cn := g.nodes[cs.callee]
+				if cn == nil || seen[cn] {
+					continue
+				}
+				seen[cn] = true
+				chain := make([]string, len(chains[n]), len(chains[n])+1)
+				copy(chain, chains[n])
+				chains[cn] = append(chain, displayName(cn.fn))
+				next = append(next, cn)
+			}
+		}
+		sortNodes(next)
+		frontier = next
+	}
+	return chains
+}
+
+func sortNodes(ns []*cgNode) {
+	sort.Slice(ns, func(i, j int) bool {
+		a, b := displayName(ns[i].fn), displayName(ns[j].fn)
+		if a != b {
+			return a < b
+		}
+		return ns[i].fn.Pos() < ns[j].fn.Pos()
+	})
+}
+
+// directiveHotPath is the annotation marking a zero-allocation root.
+const directiveHotPath = "//tlavet:hotpath"
+
+// hasHotPathDirective reports whether a comment group carries the
+// hot-path root annotation.
+func hasHotPathDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == directiveHotPath {
+			return true
+		}
+	}
+	return false
+}
+
+// hotPathRoots collects the module's annotated roots: function
+// declarations whose doc comment contains `//tlavet:hotpath`, plus —
+// for annotated interface methods — every module method that implements
+// the annotated interface (the paper-facing case: annotating
+// replacement.Policy's Touch ropes in every concrete policy's Touch).
+func (g *callGraph) hotPathRoots() []*types.Func {
+	var roots []*types.Func
+	for _, pkg := range g.module.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				switch d := d.(type) {
+				case *ast.FuncDecl:
+					if !hasHotPathDirective(d.Doc) {
+						continue
+					}
+					if fn, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
+						roots = append(roots, canonical(fn))
+					}
+				case *ast.GenDecl:
+					roots = append(roots, g.interfaceRoots(pkg, d)...)
+				}
+			}
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		a, b := displayName(roots[i]), displayName(roots[j])
+		if a != b {
+			return a < b
+		}
+		return roots[i].Pos() < roots[j].Pos()
+	})
+	return roots
+}
+
+// interfaceRoots expands `//tlavet:hotpath` annotations on interface
+// method declarations into the concrete implementing methods.
+func (g *callGraph) interfaceRoots(pkg *Package, d *ast.GenDecl) []*types.Func {
+	var roots []*types.Func
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		it, ok := ts.Type.(*ast.InterfaceType)
+		if !ok {
+			continue
+		}
+		ifaceType, ok := pkg.TypeOfExpr(ts.Type)
+		if !ok {
+			continue
+		}
+		iface, ok := ifaceType.Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		for _, field := range it.Methods.List {
+			if !hasHotPathDirective(field.Doc) || len(field.Names) == 0 {
+				continue
+			}
+			roots = append(roots, g.implementers(iface, field.Names[0].Name)...)
+		}
+	}
+	return roots
+}
+
+// TypeOfExpr resolves the static type of e, reporting success.
+func (p *Package) TypeOfExpr(e ast.Expr) (types.Type, bool) {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type, true
+	}
+	return nil, false
+}

@@ -15,9 +15,10 @@ import (
 // results. Whole-struct resets (h.Traffic = Traffic{}) stay legal
 // because they name the struct, not a counter.
 var CounterDisciplineAnalyzer = &Analyzer{
-	Name: "counterdiscipline",
-	Doc:  "Traffic/Recorder counter fields may only be incremented (++/+=) outside Reset",
-	Run:  runCounterDiscipline,
+	Name:    "counterdiscipline",
+	Doc:     "Traffic/Recorder counter fields may only be incremented (++/+=) outside Reset",
+	Default: true,
+	Run:     runCounterDiscipline,
 }
 
 // counterOwners names the types whose uint64 fields are event counters.

@@ -13,9 +13,10 @@ import (
 // comparison is built from. The check covers internal/metrics and
 // internal/experiments, where every float is a result value.
 var FloatCmpAnalyzer = &Analyzer{
-	Name: "floatcmp",
-	Doc:  "no == or != on float expressions in internal/metrics and internal/experiments",
-	Run:  runFloatCmp,
+	Name:    "floatcmp",
+	Doc:     "no == or != on float expressions in internal/metrics and internal/experiments",
+	Default: true,
+	Run:     runFloatCmp,
 }
 
 func runFloatCmp(pass *Pass) {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -92,7 +93,7 @@ func LoadModule(root string) (*Module, error) {
 			return err
 		}
 		for _, e := range ents {
-			if !e.IsDir() && isSourceFile(e.Name()) {
+			if !e.IsDir() && includeFile(path, e.Name()) {
 				dirs = append(dirs, path)
 				break
 			}
@@ -139,6 +140,24 @@ func (m *Module) importPath(dir string) string {
 // isSourceFile reports whether name is a non-test Go source file.
 func isSourceFile(name string) bool {
 	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// includeFile reports whether the loader should parse dir/name. Beyond
+// the non-test .go check, it applies the go tool's own exclusion rules
+// so that directories with ignored files load instead of failing:
+// `_`- and `.`-prefixed files are invisible to builds, and files whose
+// build constraints (//go:build tags or _GOOS/_GOARCH suffixes) exclude
+// them from the default build context never reach the compiler, so the
+// analyzers must not see them either.
+func includeFile(dir, name string) bool {
+	if !isSourceFile(name) {
+		return false
+	}
+	if strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+		return false
+	}
+	ok, err := build.Default.MatchFile(dir, name)
+	return err == nil && ok
 }
 
 // modulePath extracts the module path from a go.mod file.
@@ -266,7 +285,7 @@ func (ld *loaderState) loadDir(dir, path string) (*Package, error) {
 	var files []*ast.File
 	name := ""
 	for _, e := range ents {
-		if e.IsDir() || !isSourceFile(e.Name()) {
+		if e.IsDir() || !includeFile(dir, e.Name()) {
 			continue
 		}
 		f, err := parser.ParseFile(ld.m.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeModule lays files out under a temp dir, creating parents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoaderSkipsUnderscoreFiles checks that `_`- and `.`-prefixed
+// files — invisible to go build — are invisible to the loader too,
+// even when they do not parse or belong to a different package.
+func TestLoaderSkipsUnderscoreFiles(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module skipmod\n\ngo 1.22\n",
+		"lib.go": "package skipmod\n\n// V is fine.\nvar V = 1\n",
+		// Both ignored files would break the load if parsed: one is not
+		// even Go, the other declares a clashing package.
+		"_scratch.go": "this is not go source {{{\n",
+		".hidden.go":  "package different\nvar Clash = unresolved\n",
+	})
+	m, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(m.Pkgs) != 1 || len(m.Pkgs[0].Files) != 1 {
+		t.Fatalf("loaded %d packages (files %d), want 1 package with 1 file", len(m.Pkgs), len(m.Pkgs[0].Files))
+	}
+}
+
+// TestLoaderSkipsBuildTagExcludedFiles checks that files excluded from
+// the default build context — by //go:build constraints or by _GOOS
+// filename suffixes — are skipped instead of failing the load. The
+// excluded files here reference undefined symbols, so accidentally
+// parsing them turns into a type-check error the test would catch.
+func TestLoaderSkipsBuildTagExcludedFiles(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module tagmod\n\ngo 1.22\n",
+		"lib.go": "package tagmod\n\n// V is fine.\nvar V = 1\n",
+		"tools.go": `//go:build never_enabled_tag
+
+package tagmod
+
+var Broken = definedNowhere
+`,
+		// Excluded on every platform this test suite runs on: the suite
+		// itself would not build under Plan 9.
+		"dial_plan9.go": "package tagmod\n\nvar AlsoBroken = definedNowhere\n",
+	})
+	m, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(m.Pkgs) != 1 || len(m.Pkgs[0].Files) != 1 {
+		t.Fatalf("loaded %d packages (files %d), want 1 package with 1 file", len(m.Pkgs), len(m.Pkgs[0].Files))
+	}
+}
+
+// TestLoaderSkipsDirOfOnlyExcludedFiles checks the directory-discovery
+// walk applies the same rules: a directory whose every file is
+// excluded must not be reported as a package (the old loader failed
+// with "no Go source files" here).
+func TestLoaderSkipsDirOfOnlyExcludedFiles(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":                 "module onlymod\n\ngo 1.22\n",
+		"lib.go":                 "package onlymod\n\n// V is fine.\nvar V = 1\n",
+		"internal/gen/_gen.go":   "template junk, not go\n",
+		"internal/exp/future.go": "//go:build never_enabled_tag\n\npackage exp\n\nvar X = definedNowhere\n",
+		"internal/real/real.go":  "package real\n\n// W is fine.\nvar W = 2\n",
+	})
+	m, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(m.Pkgs) != 2 {
+		paths := make([]string, 0, len(m.Pkgs))
+		for _, p := range m.Pkgs {
+			paths = append(paths, p.Path)
+		}
+		t.Fatalf("loaded packages %v, want exactly the root package and internal/real", paths)
+	}
+}

@@ -12,9 +12,10 @@ import (
 // consult wall clocks or global random sources, and may not mutate
 // simulation state (or append to output) in map iteration order.
 var NondeterminismAnalyzer = &Analyzer{
-	Name: "nondeterminism",
-	Doc:  "forbid time.Now, math/rand, and state-mutating map iteration in simulation packages",
-	Run:  runNondeterminism,
+	Name:    "nondeterminism",
+	Doc:     "forbid time.Now, math/rand, and state-mutating map iteration in simulation packages",
+	Default: true,
+	Run:     runNondeterminism,
 }
 
 // nondetPackages lists the internal packages whose behaviour must be a

@@ -13,9 +13,10 @@ import (
 // the package name ("cache: ...") and may never re-throw a bare error
 // value (panic(err)) that loses that context.
 var PanicMsgAnalyzer = &Analyzer{
-	Name: "panicmsg",
-	Doc:  "panics in internal/ must carry a package-prefixed message, never a bare panic(err)",
-	Run:  runPanicMsg,
+	Name:    "panicmsg",
+	Doc:     "panics in internal/ must carry a package-prefixed message, never a bare panic(err)",
+	Default: true,
+	Run:     runPanicMsg,
 }
 
 func runPanicMsg(pass *Pass) {

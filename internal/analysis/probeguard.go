@@ -14,9 +14,10 @@ import (
 // An unguarded call both panics when telemetry is off and signals that
 // a new fire site skipped the guard convention.
 var ProbeGuardAnalyzer = &Analyzer{
-	Name: "probeguard",
-	Doc:  "telemetry.Probe method calls must be dominated by a nil check of the probe",
-	Run:  runProbeGuard,
+	Name:    "probeguard",
+	Doc:     "telemetry.Probe method calls must be dominated by a nil check of the probe",
+	Default: true,
+	Run:     runProbeGuard,
 }
 
 func runProbeGuard(pass *Pass) {

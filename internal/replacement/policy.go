@@ -77,6 +77,8 @@ type Policy interface {
 	Name() string
 	// Touch records a reference to way (a cache hit or an explicit
 	// promotion such as a temporal-locality hint or a QBS save).
+	//
+	//tlavet:hotpath
 	Touch(set, way int)
 	// Insert records that a new line has been filled into way and
 	// initialises its replacement state.
@@ -88,6 +90,8 @@ type Policy interface {
 	// Victim returns the way the policy would evict from set next.
 	// Calling Victim repeatedly without intervening state changes
 	// returns the same way.
+	//
+	//tlavet:hotpath
 	Victim(set int) int
 }
 

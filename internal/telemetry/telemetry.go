@@ -155,6 +155,7 @@ func (r *Recorder) ECIInvalidate(addr uint64) {
 	r.count(EvECIInvalidate)
 	r.eciSeq++
 	if len(r.pending) < maxPendingRescues {
+		//tlavet:allow hotpath size-capped rescue-tracking map; Recorder-attached runs opt out of the zero-alloc contract
 		r.pending[addr] = r.eciSeq
 	}
 }

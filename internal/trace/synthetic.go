@@ -191,6 +191,8 @@ func (g *Synthetic) Reset() {
 // Next generates the next instruction. Every bounded draw goes through
 // a precomputed divisor (bit-identical to the % it replaces), keeping
 // the per-instruction path free of hardware divides.
+//
+//tlavet:hotpath
 func (g *Synthetic) Next(in *Instr) {
 	in.PC = g.pc
 	// Advance the PC: mostly sequential, occasionally a taken branch to
