@@ -59,7 +59,7 @@ func main() {
 		return
 	}
 	if *debugAddr != "" {
-		addr, err := telemetry.ServeDebug(*debugAddr)
+		addr, _, err := telemetry.ServeDebug(*debugAddr)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"tlacache/internal/service"
+	"tlacache/internal/service/api"
+)
+
+// runClient implements the submit/get/stats subcommands — a thin HTTP
+// client so a shell can drive the daemon without hand-writing JSON.
+func runClient(cmd string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tlacached "+cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	server := fs.String("server", "http://127.0.0.1:8321", "daemon base URL")
+	timeout := fs.Duration("timeout", 10*time.Minute, "request timeout")
+
+	var spec service.JobSpec
+	var wait *bool
+	var apps *string
+	var warmup *int64
+	if cmd == "submit" {
+		fs.StringVar(&spec.Mix, "mix", "", "Table II mix name (MIX_00 … MIX_11)")
+		apps = fs.String("apps", "", "comma-separated benchmark tags, one per core")
+		fs.StringVar(&spec.Policy, "policy", "", "LLC policy (default baseline)")
+		fs.Uint64Var(&spec.Seed, "seed", 0, "workload seed (0 = default)")
+		fs.Uint64Var(&spec.Instructions, "n", 0, "measured instructions per core (0 = default)")
+		warmup = fs.Int64("w", -1, "warmup instructions per core (-1 = default)")
+		fs.StringVar(&spec.LLC, "llc", "", "LLC size override, e.g. 1MB")
+		fs.BoolVar(&spec.NoPrefetch, "no-prefetch", false, "disable the stream prefetcher")
+		fs.Uint64Var(&spec.Interval, "interval", 0, "interval telemetry period in instructions")
+		wait = fs.Bool("wait", false, "block until the manifest is ready")
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	client := &http.Client{Timeout: *timeout}
+	base := strings.TrimRight(*server, "/")
+
+	switch cmd {
+	case "submit":
+		if *apps != "" {
+			spec.Apps = strings.Split(*apps, ",")
+		}
+		if *warmup >= 0 {
+			w := uint64(*warmup)
+			spec.Warmup = &w
+		}
+		body, err := json.Marshal(spec)
+		if err != nil {
+			fmt.Fprintln(stderr, "tlacached:", err)
+			return 1
+		}
+		url := base + "/v1/jobs"
+		if *wait {
+			url += "?wait=1"
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			fmt.Fprintln(stderr, "tlacached:", err)
+			return 1
+		}
+		return printResponse(resp, stdout, stderr)
+
+	case "get":
+		if fs.NArg() != 1 {
+			fmt.Fprintln(stderr, "tlacached: usage: tlacached get [-server URL] <key>")
+			return 2
+		}
+		resp, err := client.Get(base + "/v1/jobs/" + fs.Arg(0) + "/result")
+		if err != nil {
+			fmt.Fprintln(stderr, "tlacached:", err)
+			return 1
+		}
+		return printResponse(resp, stdout, stderr)
+
+	case "stats":
+		resp, err := client.Get(base + "/v1/stats")
+		if err != nil {
+			fmt.Fprintln(stderr, "tlacached:", err)
+			return 1
+		}
+		return printResponse(resp, stdout, stderr)
+	}
+	fmt.Fprintln(stderr, "tlacached: unknown command", cmd)
+	return 2
+}
+
+// printResponse relays the daemon's answer: body to stdout on success
+// (2xx), body plus status and Retry-After guidance to stderr
+// otherwise.
+func printResponse(resp *http.Response, stdout, stderr io.Writer) int {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintln(stderr, "tlacached:", err)
+		return 1
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if v := resp.Header.Get(api.ResultHeader); v != "" {
+			fmt.Fprintf(stderr, "tlacached: result: %s\n", v)
+		}
+		stdout.Write(data) //nolint:errcheck
+		return 0
+	}
+	fmt.Fprintf(stderr, "tlacached: %s: %s", resp.Status, data)
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		fmt.Fprintf(stderr, "tlacached: retry after %ss\n", ra)
+	}
+	return 1
+}

@@ -42,6 +42,30 @@ func TestGoldenFixtures(t *testing.T) {
 	}
 }
 
+// TestLockDisciplineScope pins the analyzer's package scope: the
+// daemon's service packages are polled like runner/telemetry, while a
+// package outside the concurrent set loads the same fixture silently.
+func TestLockDisciplineScope(t *testing.T) {
+	for path, inScope := range map[string]bool{
+		"tlacache/internal/service":       true,
+		"tlacache/internal/service/api":   true,
+		"tlacache/internal/service/cache": true,
+		"tlacache/internal/metrics":       false,
+	} {
+		pkg, err := LoadDir(filepath.Join("testdata", "lockdiscipline"), path)
+		if err != nil {
+			t.Fatalf("loading fixture as %s: %v", path, err)
+		}
+		diags := RunPackage(pkg.Fset, pkg, []*Analyzer{LockDisciplineAnalyzer}, "")
+		if inScope && len(diags) == 0 {
+			t.Errorf("%s: in scope but produced no diagnostics", path)
+		}
+		if !inScope && len(diags) != 0 {
+			t.Errorf("%s: out of scope but produced %d diagnostics", path, len(diags))
+		}
+	}
+}
+
 type wantKey struct {
 	file string
 	line int

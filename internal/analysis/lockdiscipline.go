@@ -5,10 +5,12 @@ import (
 	"go/types"
 )
 
-// LockDisciplineAnalyzer polices the two packages that run concurrent
-// code — internal/runner (the parallel job engine) and
-// internal/telemetry (live introspection) — for the mistakes that race
-// detectors only catch when the schedule cooperates:
+// LockDisciplineAnalyzer polices the packages that run concurrent
+// code — internal/runner (the parallel job engine), internal/telemetry
+// (live introspection), and internal/service (the tlacached daemon's
+// job registry, result cache, and admission control) — for the
+// mistakes that race detectors only catch when the schedule
+// cooperates:
 //
 //   - writes to fields of a mutex-owning struct (one with a sync.Mutex
 //     or sync.RWMutex field) from a method that has not lexically
@@ -30,13 +32,13 @@ import (
 // theirs.
 var LockDisciplineAnalyzer = &Analyzer{
 	Name:    "lockdiscipline",
-	Doc:     "runner/telemetry: field writes need the owning mutex, no sends under lock, no mutex copies",
+	Doc:     "runner/telemetry/service: field writes need the owning mutex, no sends under lock, no mutex copies",
 	Default: true,
 	Run:     runLockDiscipline,
 }
 
 func runLockDiscipline(pass *Pass) {
-	if !pathInPackages(pass.Pkg.Path, "runner", "telemetry") {
+	if !pathInPackages(pass.Pkg.Path, "runner", "telemetry", "service") {
 		return
 	}
 	for _, f := range pass.Pkg.Files {

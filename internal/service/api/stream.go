@@ -1,0 +1,133 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// eventWriter renders a job's event stream in one of two framings:
+// Server-Sent Events (`event:`/`data:` blocks) when the client asks
+// for text/event-stream, newline-delimited JSON otherwise. Both frame
+// one Event per message, flushed immediately — the point of the
+// stream is watching a simulation live.
+type eventWriter struct {
+	w   http.ResponseWriter
+	fl  http.Flusher
+	sse bool
+}
+
+func newEventWriter(w http.ResponseWriter, r *http.Request) (*eventWriter, bool) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return nil, false
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	return &eventWriter{w: w, fl: fl, sse: sse}, true
+}
+
+func (ew *eventWriter) write(ev Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	if ew.sse {
+		if _, err := ew.w.Write([]byte("event: " + ev.Type + "\ndata: ")); err != nil {
+			return err
+		}
+	}
+	if _, err := ew.w.Write(data); err != nil {
+		return err
+	}
+	suffix := "\n"
+	if ew.sse {
+		suffix = "\n\n"
+	}
+	if _, err := ew.w.Write([]byte(suffix)); err != nil {
+		return err
+	}
+	ew.fl.Flush()
+	return nil
+}
+
+// terminalEvent renders a finished job's final state as an event.
+func terminalEvent(key, state, errMsg string) Event {
+	if errMsg != "" {
+		return Event{Type: "error", Key: key, State: state, Error: errMsg}
+	}
+	return Event{Type: "done", Key: key, State: state}
+}
+
+// handleEvents is GET /v1/jobs/{key}/events: subscribe to a job's
+// live event stream. A key that already resolved (cache hit, no
+// in-flight job) yields a single terminal "done" event so late
+// subscribers see a well-formed, finite stream.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	j := s.lookupJob(key)
+	if j == nil {
+		if _, ok := s.cache.Get(key); !ok {
+			http.Error(w, "unknown job", http.StatusNotFound)
+			return
+		}
+		ew, ok := newEventWriter(w, r)
+		if !ok {
+			return
+		}
+		ew.write(terminalEvent(key, StateDone, "")) //nolint:errcheck // client gone
+		return
+	}
+
+	ch := j.subscribe()
+	defer j.unsubscribe(ch)
+	ew, ok := newEventWriter(w, r)
+	if !ok {
+		return
+	}
+	state, errMsg := j.snapshot()
+	if err := ew.write(Event{Type: "state", Key: key, State: state, Error: errMsg}); err != nil {
+		return
+	}
+	for {
+		select {
+		case ev := <-ch:
+			if err := ew.write(ev); err != nil {
+				return
+			}
+			if ev.Type == "done" || ev.Type == "error" {
+				return
+			}
+		case <-j.done:
+			// The terminal event may have been published before we
+			// subscribed; drain anything buffered, then synthesise the
+			// final frame from the job's settled state.
+			for {
+				select {
+				case ev := <-ch:
+					if err := ew.write(ev); err != nil {
+						return
+					}
+					if ev.Type == "done" || ev.Type == "error" {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			state, errMsg := j.snapshot()
+			ew.write(terminalEvent(key, state, errMsg)) //nolint:errcheck // stream ends here
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package cache is the daemon's two-tier content-addressed result
+// store, the tiered-cache idiom of the ORAM `Cached` exemplar applied
+// to simulation manifests: a small in-memory LRU front absorbs the hot
+// repeated requests of an active sweep, and an on-disk tier of
+// checksummed entries persists every result across restarts.
+// Writes go through to disk immediately (a result costs seconds of
+// simulation to recompute and bytes to store, so durability beats
+// write-back batching); reads promote disk hits into the LRU front.
+//
+// Disk entries carry their own key and a SHA-256 of the payload, so a
+// truncated or bit-flipped file is detected on read, quarantined to a
+// .corrupt sibling for post-mortem, and treated as a miss — the entry
+// is then recomputed and rewritten, never served corrupt.
+package cache
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// DefaultMemEntries bounds the in-memory front when Config.MemEntries
+// is zero.
+const DefaultMemEntries = 256
+
+// Config parameterises a cache.
+type Config struct {
+	// Dir is the on-disk tier's directory, created on first use. An
+	// empty Dir disables the disk tier (memory-only cache).
+	Dir string
+	// MemEntries bounds the in-memory LRU front (default
+	// DefaultMemEntries). Negative disables the memory tier.
+	MemEntries int
+}
+
+// Stats counts cache outcomes since process start.
+type Stats struct {
+	MemHits     int64 `json:"mem_hits"`
+	DiskHits    int64 `json:"disk_hits"`
+	Misses      int64 `json:"misses"`
+	Puts        int64 `json:"puts"`
+	Quarantined int64 `json:"quarantined"`
+	MemEntries  int   `json:"mem_entries"`
+}
+
+// Cache is the two-tier store. It is goroutine-safe; the zero value is
+// not usable — call New.
+type Cache struct {
+	dir        string
+	memEntries int
+
+	mu    sync.Mutex
+	lru   *list.List // front = most recent; values are *memEntry
+	index map[string]*list.Element
+	stats Stats
+}
+
+type memEntry struct {
+	key  string
+	data []byte
+}
+
+// New builds a cache, creating the disk directory eagerly so
+// misconfiguration (unwritable path) fails at startup, not mid-run.
+func New(cfg Config) (*Cache, error) {
+	if cfg.MemEntries == 0 {
+		cfg.MemEntries = DefaultMemEntries
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cache: creating %s: %w", cfg.Dir, err)
+		}
+	}
+	return &Cache{
+		dir:        cfg.Dir,
+		memEntries: cfg.MemEntries,
+		lru:        list.New(),
+		index:      make(map[string]*list.Element),
+	}, nil
+}
+
+// header is the first line of an on-disk entry; the payload bytes
+// follow it verbatim after a single newline. Embedding the payload
+// raw — instead of inside a JSON envelope, which encoding/json would
+// re-compact — keeps a cache hit byte-identical to the manifest
+// originally stored.
+type header struct {
+	Key    string `json:"key"`
+	SHA256 string `json:"sha256"`
+}
+
+// Get returns the stored payload for key. The boolean reports a hit;
+// the returned slice must not be modified.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.index[key]; ok {
+		c.lru.MoveToFront(el)
+		data := el.Value.(*memEntry).data
+		c.stats.MemHits++
+		c.mu.Unlock()
+		return data, true
+	}
+	c.mu.Unlock()
+
+	data, ok := c.diskGet(key)
+	if !ok {
+		c.mu.Lock()
+		c.stats.Misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.mu.Lock()
+	c.stats.DiskHits++
+	c.mu.Unlock()
+	c.memPut(key, data)
+	return data, true
+}
+
+// Put stores the payload under key in both tiers. Storing is
+// best-effort durable: a disk write failure is returned but the
+// memory tier still holds the entry, so the daemon keeps serving.
+func (c *Cache) Put(key string, data []byte) error {
+	c.mu.Lock()
+	c.stats.Puts++
+	c.mu.Unlock()
+	c.memPut(key, data)
+	return c.diskPut(key, data)
+}
+
+// memPut inserts into the LRU front, evicting the coldest entry past
+// capacity.
+func (c *Cache) memPut(key string, data []byte) {
+	if c.memEntries < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*memEntry).data = data
+		return
+	}
+	c.index[key] = c.lru.PushFront(&memEntry{key: key, data: data})
+	for c.lru.Len() > c.memEntries {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.index, back.Value.(*memEntry).key)
+	}
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.MemEntries = c.lru.Len()
+	return s
+}
+
+// path maps a key to its disk file. Keys are "v1:<hex>"; the colon is
+// replaced so names stay portable.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, strings.ReplaceAll(key, ":", "-")+".entry")
+}
+
+// diskGet reads and validates a disk entry. Any defect — unreadable
+// JSON, wrong key, checksum mismatch — quarantines the file and
+// reports a miss, so a corrupt entry is re-simulated, never served.
+func (c *Cache) diskGet(key string) ([]byte, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	path := c.path(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		c.quarantine(path)
+		return nil, false
+	}
+	var hdr header
+	if err := json.Unmarshal(raw[:nl], &hdr); err != nil {
+		c.quarantine(path)
+		return nil, false
+	}
+	payload := raw[nl+1:]
+	sum := sha256.Sum256(payload)
+	if hdr.Key != key || hdr.SHA256 != hex.EncodeToString(sum[:]) {
+		c.quarantine(path)
+		return nil, false
+	}
+	return payload, true
+}
+
+// diskPut writes the checksummed entry atomically (temp file +
+// rename) so a crash mid-write can only leave a quarantinable temp,
+// never a half-written entry under the real name.
+func (c *Cache) diskPut(key string, data []byte) error {
+	if c.dir == "" {
+		return nil
+	}
+	sum := sha256.Sum256(data)
+	hdrRaw, err := json.Marshal(header{Key: key, SHA256: hex.EncodeToString(sum[:])})
+	if err != nil {
+		return fmt.Errorf("cache: encoding entry %s: %w", key, err)
+	}
+	raw := append(append(hdrRaw, '\n'), data...)
+	path := c.path(key)
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: writing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: installing %s: %w", path, err)
+	}
+	return nil
+}
+
+// quarantine moves a defective entry aside (overwriting any previous
+// quarantine of the same entry) and counts it.
+func (c *Cache) quarantine(path string) {
+	os.Rename(path, path+".corrupt") //nolint:errcheck // best effort; next Put overwrites anyway
+	c.mu.Lock()
+	c.stats.Quarantined++
+	c.mu.Unlock()
+}

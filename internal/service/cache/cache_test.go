@@ -1,0 +1,235 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func newTest(t *testing.T, mem int) *Cache {
+	t.Helper()
+	c, err := New(Config{Dir: t.TempDir(), MemEntries: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPutGetBothTiers(t *testing.T) {
+	c := newTest(t, 4)
+	payload := []byte("{\n  \"x\": 1\n}\n")
+	if err := c.Put("v1:aa", payload); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok := c.Get("v1:aa")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("memory get = %q, %v", got, ok)
+	}
+
+	// A second cache over the same directory must hit via disk and
+	// return byte-identical payload.
+	c2, err := New(Config{Dir: c.dir, MemEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok = c2.Get("v1:aa")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("disk get = %q, %v", got, ok)
+	}
+	s := c2.Stats()
+	if s.DiskHits != 1 || s.MemHits != 0 {
+		t.Errorf("stats after disk hit: %+v", s)
+	}
+	// The disk hit was promoted into the memory front.
+	if _, ok := c2.Get("v1:aa"); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if s := c2.Stats(); s.MemHits != 1 {
+		t.Errorf("stats after promote: %+v", s)
+	}
+}
+
+func TestMiss(t *testing.T) {
+	c := newTest(t, 4)
+	if _, ok := c.Get("v1:nope"); ok {
+		t.Fatal("unexpected hit")
+	}
+	if s := c.Stats(); s.Misses != 1 {
+		t.Errorf("stats: %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, err := New(Config{MemEntries: 2}) // memory-only
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("v1:%d", i), []byte(fmt.Sprintf("%d", i))) //nolint:errcheck
+	}
+	if _, ok := c.Get("v1:0"); ok {
+		t.Error("coldest entry not evicted")
+	}
+	for _, k := range []string{"v1:1", "v1:2"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted early", k)
+		}
+	}
+	if s := c.Stats(); s.MemEntries != 2 {
+		t.Errorf("mem entries %d, want 2", s.MemEntries)
+	}
+}
+
+// Corrupt disk entries — truncated, garbage, wrong key, flipped
+// payload bit — must read as misses, be quarantined, and be healed by
+// the following Put.
+func TestCorruptionQuarantine(t *testing.T) {
+	corruptions := map[string]func(path string, raw []byte) []byte{
+		"truncated": func(_ string, raw []byte) []byte { return raw[:len(raw)/2] },
+		"garbage":   func(_ string, _ []byte) []byte { return []byte("not json at all") },
+		"bitflip": func(_ string, raw []byte) []byte {
+			flipped := bytes.Replace(raw, []byte("payload"), []byte("paYload"), 1)
+			return flipped
+		},
+		"wrong-key": func(_ string, raw []byte) []byte {
+			return bytes.Replace(raw, []byte("v1:aa"), []byte("v1:ab"), 1)
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			c := newTest(t, -1) // disk-only: force every Get through the disk path
+			payload := []byte(`{"v":"payload"}`)
+			if err := c.Put("v1:aa", payload); err != nil {
+				t.Fatal(err)
+			}
+			path := c.path("v1:aa")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(path, raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			if _, ok := c.Get("v1:aa"); ok {
+				t.Fatal("corrupt entry served as a hit")
+			}
+			if s := c.Stats(); s.Quarantined != 1 {
+				t.Errorf("stats: %+v", s)
+			}
+			if _, err := os.Stat(path + ".corrupt"); err != nil {
+				t.Errorf("quarantine file missing: %v", err)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("corrupt entry still in place: %v", err)
+			}
+
+			// Healing: re-store and read back clean.
+			if err := c.Put("v1:aa", payload); err != nil {
+				t.Fatal(err)
+			}
+			got, ok := c.Get("v1:aa")
+			if !ok || !bytes.Equal(got, payload) {
+				t.Fatalf("healed get = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+func TestDiskDisabled(t *testing.T) {
+	c, err := New(Config{MemEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("v1:x", []byte(`"p"`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("v1:x"); !ok {
+		t.Fatal("memory-only get failed")
+	}
+}
+
+func TestPathIsPortable(t *testing.T) {
+	c := newTest(t, 1)
+	p := c.path("v1:abc")
+	if strings.ContainsRune(filepath.Base(p), ':') {
+		t.Errorf("path %q keeps the colon", p)
+	}
+}
+
+// N concurrent GetOrCompute calls for one key must run compute exactly
+// once and all receive the identical payload.
+func TestSingleFlightCoalescing(t *testing.T) {
+	c := newTest(t, 4)
+	var g Group
+	const n = 16
+	var computes int32
+	gate := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([][]byte, n)
+	hits := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data, hit, err := c.GetOrCompute(&g, "v1:k", func() ([]byte, error) {
+				atomic.AddInt32(&computes, 1)
+				<-gate // hold the leader so every waiter truly coalesces
+				return []byte(`"result"`), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], hits[i] = data, hit
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := atomic.LoadInt32(&computes); got != 1 {
+		t.Errorf("compute ran %d times, want 1", got)
+	}
+	leaders := 0
+	for i := range results {
+		if !bytes.Equal(results[i], []byte(`"result"`)) {
+			t.Errorf("caller %d got %q", i, results[i])
+		}
+		if !hits[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("%d callers computed, want exactly 1", leaders)
+	}
+
+	// The result was stored: a fresh call is a plain hit.
+	data, hit, err := c.GetOrCompute(&g, "v1:k", func() ([]byte, error) {
+		t.Error("compute ran on a cached key")
+		return nil, nil
+	})
+	if err != nil || !hit || !bytes.Equal(data, []byte(`"result"`)) {
+		t.Errorf("post-flight get = %q hit=%v err=%v", data, hit, err)
+	}
+}
+
+func TestGetOrComputeError(t *testing.T) {
+	c := newTest(t, 4)
+	var g Group
+	wantErr := fmt.Errorf("boom")
+	_, _, err := c.GetOrCompute(&g, "v1:e", func() ([]byte, error) { return nil, wantErr })
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+	// Errors are not cached: the next call recomputes.
+	data, hit, err := c.GetOrCompute(&g, "v1:e", func() ([]byte, error) { return []byte(`"ok"`), nil })
+	if err != nil || hit || !bytes.Equal(data, []byte(`"ok"`)) {
+		t.Fatalf("retry = %q hit=%v err=%v", data, hit, err)
+	}
+}

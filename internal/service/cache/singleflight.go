@@ -1,0 +1,87 @@
+package cache
+
+import "sync"
+
+// Group coalesces concurrent computations of the same key: the first
+// caller (the leader) runs fn, every concurrent duplicate blocks until
+// the leader finishes and then shares its result. Unlike a cache, a
+// Group holds results only while a computation is in flight — pairing
+// it with the Cache gives "compute each key at most once at a time"
+// on top of "compute each key at most once ever".
+type Group struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+type call struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Do runs fn for key unless an identical computation is already in
+// flight, in which case it waits for and shares that computation's
+// result. The leader return value reports whether this caller ran fn.
+func (g *Group) Do(key string, fn func() ([]byte, error)) (val []byte, leader bool, err error) {
+	cl, leads := g.join(key)
+	if !leads {
+		<-cl.done
+		return cl.val, false, cl.err
+	}
+	cl.val, cl.err = fn()
+	close(cl.done)
+	g.forget(key)
+	return cl.val, true, cl.err
+}
+
+// join returns key's in-flight call, creating it — and electing the
+// caller leader — when none exists.
+func (g *Group) join(key string) (*call, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.calls == nil {
+		g.calls = make(map[string]*call)
+	}
+	if cl, ok := g.calls[key]; ok {
+		return cl, false
+	}
+	cl := &call{done: make(chan struct{})}
+	g.calls[key] = cl
+	return cl, true
+}
+
+// forget retires a completed flight; the next Do for key starts fresh.
+func (g *Group) forget(key string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.calls, key)
+}
+
+// GetOrCompute is the cache's single-flight front door: a Get that, on
+// miss, computes the payload exactly once per key across concurrent
+// callers and stores it in both tiers. hit reports whether the payload
+// came without running compute in this call — from a cache tier or
+// from a concurrent leader's in-flight computation (coalesced).
+func (c *Cache) GetOrCompute(g *Group, key string, compute func() ([]byte, error)) (data []byte, hit bool, err error) {
+	if data, ok := c.Get(key); ok {
+		return data, true, nil
+	}
+	computed := false
+	data, _, err = g.Do(key, func() ([]byte, error) {
+		// Re-check under the flight: a previous leader may have filled
+		// the cache between our miss and our turn as leader.
+		if data, ok := c.Get(key); ok {
+			return data, nil
+		}
+		computed = true
+		data, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		return data, c.Put(key, data)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return data, !computed, nil
+}

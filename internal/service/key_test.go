@@ -1,0 +1,158 @@
+package service
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"tlacache/internal/cpu"
+	"tlacache/internal/hierarchy"
+	"tlacache/internal/prefetch"
+	"tlacache/internal/sim"
+)
+
+// goldenKeys pins the canonical hash of known requests. If this test
+// fails without an intentional schema change, the Key function has
+// drifted and would silently orphan (or worse, misattribute) every
+// existing cache entry; if the change is intentional, bump KeyVersion
+// and repin.
+func TestKeyGolden(t *testing.T) {
+	base := sim.DefaultConfig(2)
+	qbs := base
+	qbs.Hierarchy.TLA = hierarchy.TLAQBS
+	qbs.Hierarchy.QBSProbe = hierarchy.AllCaches
+
+	cases := []struct {
+		name   string
+		cfg    sim.Config
+		apps   []string
+		policy string
+		seed   uint64
+		want   string
+	}{
+		{"baseline", base, []string{"sje", "lib"}, "baseline", 1,
+			"v1:a40d2a2800531413bdeb6d628cbec72b24cd27a7ce09f5a0fec48733297ad071"},
+		{"qbs-seed7", qbs, []string{"sje", "lib"}, "qbs", 7,
+			"v1:a00b9ef154ba559d540b19f453c579de8ba042f43ff1be36006fc679d608da23"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Key(tc.cfg, tc.apps, tc.policy, tc.seed)
+			if got != tc.want {
+				t.Errorf("Key drifted:\n got %s\nwant %s\ncanonical: %s",
+					got, tc.want, canonical(tc.cfg, tc.apps, tc.policy, tc.seed))
+			}
+		})
+	}
+}
+
+// TestKeyCanonicalGolden pins the pre-hash canonical string so a
+// drifted hash is debuggable from the test failure alone.
+func TestKeyCanonicalGolden(t *testing.T) {
+	got := canonical(sim.DefaultConfig(2), []string{"sje", "lib"}, "baseline", 1)
+	want := "v1|apps=sje,lib|policy=baseline|seed=1|instr=2000000|warmup=1000000" +
+		"|cores=2|line=64|l1i=32768/4|l1d=32768/4|l2=262144/8|llc=2097152/16" +
+		"|pol=0,0,1|incl=0|tla=0|tlh=3/1000|qbs=7/0/false|l2incl=false/false" +
+		"|pf=false/0/0/0/0|vc=0|bcast=false|banks=0/0|lat=1,10,24,150|cpu=4/128/32"
+	if got != want {
+		t.Errorf("canonical form drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestKeyCoversConfig pins the field counts of every config struct the
+// canonical form renders. Adding a field to any of them fails here
+// loudly: decide whether the field affects simulation results (add it
+// to canonical and bump KeyVersion) or is an observer (document it in
+// the exclusion list below), then update the pinned count.
+func TestKeyCoversConfig(t *testing.T) {
+	// sim.Config exclusions: Probe, Sampler, InvariantEvery,
+	// AuditEvery — observers that cannot change results.
+	for _, tc := range []struct {
+		name   string
+		typ    reflect.Type
+		fields int
+	}{
+		{"sim.Config", reflect.TypeOf(sim.Config{}), 9},
+		{"hierarchy.Config", reflect.TypeOf(hierarchy.Config{}), 29},
+		{"hierarchy.Latencies", reflect.TypeOf(hierarchy.Latencies{}), 4},
+		{"cpu.Config", reflect.TypeOf(cpu.Config{}), 3},
+		{"prefetch.Config", reflect.TypeOf(prefetch.Config{}), 4},
+	} {
+		if got := tc.typ.NumField(); got != tc.fields {
+			t.Errorf("%s now has %d fields (canonical form covers %d): "+
+				"add the new field to service.canonical (bumping KeyVersion) "+
+				"or record it as an observer exclusion, then repin",
+				tc.name, got, tc.fields)
+		}
+	}
+}
+
+// Distinct requests must produce distinct keys: every axis the
+// canonical form encodes has to perturb the hash.
+func TestKeySensitivity(t *testing.T) {
+	base := sim.DefaultConfig(2)
+	apps := []string{"sje", "lib"}
+	ref := Key(base, apps, "baseline", 1)
+
+	perturb := map[string]string{}
+	add := func(name, key string) {
+		if key == ref {
+			t.Errorf("%s did not change the key", name)
+		}
+		if prev, ok := perturb[key]; ok {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		perturb[key] = name
+	}
+
+	add("seed", Key(base, apps, "baseline", 2))
+	add("policy-name", Key(base, apps, "qbs", 1))
+	add("apps", Key(base, []string{"lib", "sje"}, "baseline", 1))
+
+	c := base
+	c.Instructions++
+	add("instructions", Key(c, apps, "baseline", 1))
+	c = base
+	c.Warmup++
+	add("warmup", Key(c, apps, "baseline", 1))
+	c = base
+	c.Hierarchy.LLCSize *= 2
+	add("llc-size", Key(c, apps, "baseline", 1))
+	c = base
+	c.Hierarchy.TLA = hierarchy.TLAECI
+	add("tla", Key(c, apps, "baseline", 1))
+	c = base
+	c.Hierarchy.EnablePrefetch = !c.Hierarchy.EnablePrefetch
+	add("prefetch", Key(c, apps, "baseline", 1))
+	c = base
+	c.CPU.ROB *= 2
+	add("rob", Key(c, apps, "baseline", 1))
+	c = base
+	c.Hierarchy.Latency.Memory++
+	add("latency", Key(c, apps, "baseline", 1))
+}
+
+// Observer fields must NOT perturb the key — they are excluded from
+// the canonical form by design.
+func TestKeyIgnoresObservers(t *testing.T) {
+	base := sim.DefaultConfig(2)
+	apps := []string{"sje", "lib"}
+	ref := Key(base, apps, "baseline", 1)
+
+	c := base
+	c.AuditEvery = 1000
+	c.InvariantEvery = 500
+	if got := Key(c, apps, "baseline", 1); got != ref {
+		t.Errorf("audit/invariant observers changed the key: %s != %s", got, ref)
+	}
+}
+
+func TestKeyShape(t *testing.T) {
+	k := Key(sim.DefaultConfig(2), []string{"sje", "lib"}, "baseline", 1)
+	if !strings.HasPrefix(k, KeyVersion+":") {
+		t.Errorf("key %q lacks the %s: version prefix", k, KeyVersion)
+	}
+	if len(k) != len(KeyVersion)+1+64 {
+		t.Errorf("key %q is not a %s-prefixed hex SHA-256", k, KeyVersion)
+	}
+}

@@ -1,0 +1,167 @@
+// Package queue is the daemon's admission-control layer: a token
+// bucket bounds the rate at which new simulations may be admitted
+// (absorbing short bursts up to its capacity), and a bounded in-flight
+// count caps how much work may be queued or running at once. A request
+// that fails either gate is rejected immediately with a Retry-After
+// estimate — the daemon answers 429 rather than queueing without
+// bound, so overload degrades into client backpressure instead of
+// memory growth and unbounded latency.
+package queue
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket is a classic rate limiter: capacity `burst` tokens,
+// refilled continuously at `rate` tokens per second. It is
+// goroutine-safe. The clock is injectable for tests.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 disables limiting
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewTokenBucket builds a bucket starting full. rate <= 0 disables
+// rate limiting (Take always succeeds). now defaults to time.Now.
+func NewTokenBucket(rate, burst float64, now func() time.Time) *TokenBucket {
+	if now == nil {
+		now = time.Now
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst, last: now(), now: now}
+}
+
+// Take consumes one token if available. When the bucket is empty it
+// reports how long until the next token accrues — the Retry-After a
+// rejected client should honour.
+func (b *TokenBucket) Take() (ok bool, retryAfter time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rate <= 0 {
+		return true, 0
+	}
+	t := b.now()
+	b.tokens += t.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = t
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// Tokens reports the current (refilled) token count, for stats.
+func (b *TokenBucket) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rate <= 0 {
+		return b.burst
+	}
+	t := b.now()
+	b.tokens += t.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = t
+	return b.tokens
+}
+
+// DefaultRetryAfter is the backoff suggested when admission fails on
+// the in-flight bound (as opposed to the rate gate, which can compute
+// its own): one in-flight slot usually frees within a simulation's
+// runtime, a few seconds.
+const DefaultRetryAfter = time.Second
+
+// Stats counts admission outcomes.
+type Stats struct {
+	Admitted  int64 `json:"admitted"`
+	Rejected  int64 `json:"rejected"`
+	InFlight  int   `json:"in_flight"`
+	Limit     int   `json:"limit"`
+	RateLimit bool  `json:"rate_limited_last,omitempty"`
+}
+
+// Admission combines the two gates. It is goroutine-safe.
+type Admission struct {
+	bucket *TokenBucket
+
+	mu       sync.Mutex
+	limit    int
+	inFlight int
+	admitted int64
+	rejected int64
+	lastRate bool
+}
+
+// NewAdmission bounds concurrent work (queued + running) to limit;
+// limit <= 0 means unbounded. bucket may be nil for no rate gate.
+func NewAdmission(limit int, bucket *TokenBucket) *Admission {
+	return &Admission{limit: limit, bucket: bucket}
+}
+
+// Admit applies both gates: the in-flight bound first (a full queue
+// must not burn rate tokens), then the token bucket. On success it
+// returns an idempotent release function the caller must invoke when
+// the admitted work finishes. On rejection it returns ok=false and
+// the Retry-After clients should wait before resubmitting.
+//
+// The bucket is consulted while a.mu is held; the nesting is safe
+// because TokenBucket never calls back into Admission.
+func (a *Admission) Admit() (release func(), retryAfter time.Duration, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.limit > 0 && a.inFlight >= a.limit {
+		a.rejected++
+		a.lastRate = false
+		return nil, DefaultRetryAfter, false
+	}
+	if took, retry := a.bucket.Take(); !took {
+		a.rejected++
+		a.lastRate = true
+		return nil, retry, false
+	}
+	a.inFlight++
+	a.admitted++
+	return a.releaseFunc(), 0, true
+}
+
+// releaseFunc mints the idempotent in-flight decrement for one
+// admitted unit of work.
+func (a *Admission) releaseFunc() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.inFlight--
+			a.mu.Unlock()
+		})
+	}
+}
+
+// Stats snapshots the admission counters.
+func (a *Admission) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Stats{
+		Admitted:  a.admitted,
+		Rejected:  a.rejected,
+		InFlight:  a.inFlight,
+		Limit:     a.limit,
+		RateLimit: a.lastRate,
+	}
+}

@@ -1,0 +1,236 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock for deterministic refill
+// timing tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(d)
+}
+
+func TestTokenBucketStartsFull(t *testing.T) {
+	clk := newFakeClock()
+	b := NewTokenBucket(1, 3, clk.now)
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.Take(); !ok {
+			t.Fatalf("take %d failed on a full bucket", i)
+		}
+	}
+	if ok, retry := b.Take(); ok || retry <= 0 {
+		t.Fatalf("empty bucket: ok=%v retry=%v", ok, retry)
+	}
+}
+
+// Tokens must accrue at exactly `rate` per second of (fake) wall time
+// and never exceed burst.
+func TestTokenBucketRefillTiming(t *testing.T) {
+	clk := newFakeClock()
+	b := NewTokenBucket(2, 4, clk.now) // 2 tokens/s, burst 4
+	for i := 0; i < 4; i++ {
+		if ok, _ := b.Take(); !ok {
+			t.Fatalf("draining take %d failed", i)
+		}
+	}
+	if ok, _ := b.Take(); ok {
+		t.Fatal("bucket should be empty")
+	}
+
+	// 250ms at 2/s refills half a token: still rejected, and the
+	// Retry-After shrinks to the remaining quarter second.
+	clk.advance(250 * time.Millisecond)
+	if ok, retry := b.Take(); ok {
+		t.Fatal("half a token should not admit")
+	} else if retry != 250*time.Millisecond {
+		t.Errorf("retry = %v, want 250ms", retry)
+	}
+
+	// The remaining 250ms completes one token.
+	clk.advance(250 * time.Millisecond)
+	if ok, _ := b.Take(); !ok {
+		t.Fatal("one full second of refill should admit exactly once")
+	}
+	if ok, _ := b.Take(); ok {
+		t.Fatal("second take should fail — only one token accrued")
+	}
+
+	// 3 seconds accrues 6 tokens but caps at burst (4).
+	clk.advance(3 * time.Second)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := b.Take(); ok {
+			admitted++
+		}
+	}
+	if admitted != 4 {
+		t.Errorf("after long idle admitted %d, want burst cap 4", admitted)
+	}
+}
+
+func TestTokenBucketRetryAfter(t *testing.T) {
+	clk := newFakeClock()
+	b := NewTokenBucket(0.5, 1, clk.now) // one token per 2s
+	if ok, _ := b.Take(); !ok {
+		t.Fatal("initial token missing")
+	}
+	_, retry := b.Take()
+	if retry != 2*time.Second {
+		t.Errorf("retry = %v, want 2s", retry)
+	}
+	clk.advance(1500 * time.Millisecond)
+	_, retry = b.Take()
+	if retry != 500*time.Millisecond {
+		t.Errorf("retry after partial refill = %v, want 500ms", retry)
+	}
+}
+
+func TestTokenBucketDisabled(t *testing.T) {
+	b := NewTokenBucket(0, 1, newFakeClock().now)
+	for i := 0; i < 100; i++ {
+		if ok, _ := b.Take(); !ok {
+			t.Fatal("rate<=0 must never limit")
+		}
+	}
+	var nilBucket *TokenBucket
+	if ok, _ := nilBucket.Take(); !ok {
+		t.Fatal("nil bucket must admit")
+	}
+}
+
+func TestTokensReporting(t *testing.T) {
+	clk := newFakeClock()
+	b := NewTokenBucket(1, 2, clk.now)
+	if got := b.Tokens(); got != 2 {
+		t.Errorf("full bucket reports %f", got)
+	}
+	b.Take() //nolint:errcheck
+	clk.advance(500 * time.Millisecond)
+	if got := b.Tokens(); got != 1.5 {
+		t.Errorf("tokens = %f, want 1.5", got)
+	}
+}
+
+// The in-flight bound: limit admissions stay admitted until released,
+// the limit+1st is rejected with DefaultRetryAfter, and releasing one
+// slot re-opens admission.
+func TestAdmissionQueueFull(t *testing.T) {
+	a := NewAdmission(2, nil)
+	rel1, _, ok := a.Admit()
+	if !ok {
+		t.Fatal("first admit rejected")
+	}
+	_, _, ok = a.Admit()
+	if !ok {
+		t.Fatal("second admit rejected")
+	}
+	_, retry, ok := a.Admit()
+	if ok {
+		t.Fatal("third admit should hit the bound")
+	}
+	if retry != DefaultRetryAfter {
+		t.Errorf("retry = %v, want %v", retry, DefaultRetryAfter)
+	}
+	s := a.Stats()
+	if s.InFlight != 2 || s.Admitted != 2 || s.Rejected != 1 {
+		t.Errorf("stats: %+v", s)
+	}
+
+	rel1()
+	rel1() // idempotent: must not double-decrement
+	if s := a.Stats(); s.InFlight != 1 {
+		t.Errorf("in-flight after release = %d, want 1", s.InFlight)
+	}
+	if _, _, ok := a.Admit(); !ok {
+		t.Fatal("freed slot not re-admitted")
+	}
+}
+
+// A full queue must reject before consuming rate tokens, so waiting
+// clients are not double-penalised.
+func TestAdmissionBoundBeforeRate(t *testing.T) {
+	clk := newFakeClock()
+	b := NewTokenBucket(1, 1, clk.now)
+	a := NewAdmission(1, b)
+	if _, _, ok := a.Admit(); !ok {
+		t.Fatal("first admit rejected")
+	}
+	if _, _, ok := a.Admit(); ok {
+		t.Fatal("bound not enforced")
+	}
+	if got := b.Tokens(); got != 0 {
+		t.Errorf("bound rejection burned a token: %f left, want 0", got)
+	}
+}
+
+func TestAdmissionRateGate(t *testing.T) {
+	clk := newFakeClock()
+	b := NewTokenBucket(1, 1, clk.now)
+	a := NewAdmission(0, b) // unbounded in-flight; rate gate only
+	if _, _, ok := a.Admit(); !ok {
+		t.Fatal("token available but rejected")
+	}
+	_, retry, ok := a.Admit()
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if retry != time.Second {
+		t.Errorf("retry = %v, want 1s", retry)
+	}
+	if s := a.Stats(); !s.RateLimit {
+		t.Errorf("last rejection not attributed to the rate gate: %+v", s)
+	}
+	clk.advance(time.Second)
+	if _, _, ok := a.Admit(); !ok {
+		t.Fatal("refilled token rejected")
+	}
+}
+
+func TestAdmissionUnlimited(t *testing.T) {
+	a := NewAdmission(0, nil)
+	for i := 0; i < 50; i++ {
+		if _, _, ok := a.Admit(); !ok {
+			t.Fatalf("unlimited admission rejected at %d", i)
+		}
+	}
+	if s := a.Stats(); s.InFlight != 50 || s.Limit != 0 {
+		t.Errorf("stats: %+v", s)
+	}
+}
+
+func TestAdmissionConcurrent(t *testing.T) {
+	a := NewAdmission(8, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if rel, _, ok := a.Admit(); ok {
+				rel()
+			}
+		}()
+	}
+	wg.Wait()
+	if s := a.Stats(); s.InFlight != 0 {
+		t.Errorf("in-flight after all released = %d", s.InFlight)
+	}
+}

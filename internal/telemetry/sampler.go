@@ -45,6 +45,15 @@ type Sampler struct {
 	every   uint64
 	samples []Sample
 	cursors []samplerCursor
+
+	// Sink, when non-nil, receives each Sample synchronously from the
+	// simulation goroutine the moment it is observed, before the run
+	// finishes — the live-streaming hook the tlacached daemon forwards
+	// to event subscribers. A sink must not block: it runs on the
+	// simulation's critical path, so forwarders should hand off to a
+	// buffered channel and drop on overflow. Set it before the run
+	// starts; the sampler never calls it concurrently with itself.
+	Sink func(Sample)
 }
 
 // NewSampler returns a sampler snapshotting every `every` committed
@@ -93,6 +102,9 @@ func (s *Sampler) Observe(core int, instr, cycles, llcMisses, victims uint64, oc
 	sm.VictimsPerMinst = float64(dV) * 1e6 / float64(dI)
 	s.samples = append(s.samples, sm)
 	*cur = samplerCursor{interval: cur.interval + 1, instr: instr, cycles: cycles, misses: llcMisses, victims: victims}
+	if s.Sink != nil {
+		s.Sink(sm)
+	}
 }
 
 // Samples returns the collected samples in observation order (global

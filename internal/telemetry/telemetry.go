@@ -271,12 +271,14 @@ func ProbeEvents() int64 { return probeEvents.Value() }
 // ServeDebug starts an HTTP server on addr exposing net/http/pprof
 // under /debug/pprof/ and the process expvars (including the tla_*
 // counters above) under /debug/vars. It returns the bound address —
-// pass ":0" to pick a free port — and never stops serving; it is meant
-// for the lifetime of a CLI run.
-func ServeDebug(addr string) (string, error) {
+// pass ":0" to pick a free port — and the serving *http.Server so the
+// caller owns its lifetime: CLIs may let it run until process exit,
+// while daemons and tests must Close (or Shutdown) it instead of
+// leaking the listener.
+func ServeDebug(addr string) (string, *http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("telemetry: debug server: %w", err)
+		return "", nil, fmt.Errorf("telemetry: debug server: %w", err)
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -285,6 +287,7 @@ func ServeDebug(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	go http.Serve(ln, mux) //nolint:errcheck // serves until process exit
-	return ln.Addr().String(), nil
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // ends via the caller's Close/Shutdown
+	return ln.Addr().String(), srv, nil
 }

@@ -221,10 +221,11 @@ func TestJobDoneAndServeDebug(t *testing.T) {
 			beforeJobs, JobsCompleted(), beforeInstr, InstructionsSimulated())
 	}
 
-	addr, err := ServeDebug("127.0.0.1:0")
+	addr, srv, err := ServeDebug("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
 	get := func(path string) string {
 		resp, err := http.Get("http://" + addr + path)
 		if err != nil {
