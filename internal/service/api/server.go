@@ -131,10 +131,11 @@ type Job struct {
 	Spec service.JobSpec
 	done chan struct{}
 
-	mu    sync.Mutex
-	state string
-	err   string
-	subs  map[chan Event]struct{}
+	mu     sync.Mutex
+	state  string
+	err    string
+	result []byte // set on success; lets waiters answer even if no cache tier retained it
+	subs   map[chan Event]struct{}
 }
 
 func newJob(key string, spec service.JobSpec) *Job {
@@ -162,13 +163,23 @@ func (j *Job) setState(state string) {
 	j.publish(Event{Type: "state", Key: j.Key, State: state})
 }
 
-// complete marks success and releases every waiter.
-func (j *Job) complete() {
+// complete marks success, pins the result for waiters, and releases
+// every waiter.
+func (j *Job) complete(result []byte) {
 	j.mu.Lock()
 	j.state = StateDone
+	j.result = result
 	j.mu.Unlock()
 	j.publish(Event{Type: "done", Key: j.Key, State: StateDone})
 	close(j.done)
+}
+
+// resultSnapshot reads the pinned result; nil before completion or on
+// failure.
+func (j *Job) resultSnapshot() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
 }
 
 // fail marks failure and releases every waiter.
@@ -267,7 +278,7 @@ func (s *Server) run(j *Job, release func()) {
 	defer func() { <-s.sem }()
 
 	j.setState(StateRunning)
-	_, _, err := s.cache.GetOrCompute(&s.flight, j.Key, func() ([]byte, error) {
+	data, _, err := s.cache.GetOrCompute(&s.flight, j.Key, func() ([]byte, error) {
 		return s.executeJob(j)
 	})
 	s.removeJob(j)
@@ -275,7 +286,7 @@ func (s *Server) run(j *Job, release func()) {
 		j.fail(err.Error())
 		return
 	}
-	j.complete()
+	j.complete(data)
 }
 
 // executeJob runs the simulation and encodes its manifest. Interval
@@ -413,15 +424,38 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	data, ok := s.cache.Get(key)
 	if !ok {
+		// No cache tier retained the result (disk write failed, memory
+		// entry evicted); the completed job still pins it.
+		data = j.resultSnapshot()
+	}
+	if data == nil {
 		http.Error(w, "result missing after completion", http.StatusInternalServerError)
 		return
 	}
 	serveManifest(w, data)
 }
 
+// pathKey extracts and validates the {key} wildcard. ServeMux
+// unescapes wildcard segments, so a raw r.PathValue can carry path
+// separators ("..%2F..%2Fetc%2Fpasswd"); only exact canonical content
+// addresses pass — anything else is answered 404 before it can reach
+// a cache tier or the disk. The uniform 404 also keeps invalid keys
+// from probing file existence.
+func pathKey(w http.ResponseWriter, r *http.Request) (string, bool) {
+	key := r.PathValue("key")
+	if !service.ValidKey(key) {
+		http.Error(w, "unknown job", http.StatusNotFound)
+		return "", false
+	}
+	return key, true
+}
+
 // handleStatus is GET /v1/jobs/{key}.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	key := r.PathValue("key")
+	key, ok := pathKey(w, r)
+	if !ok {
+		return
+	}
 	if j := s.lookupJob(key); j != nil {
 		state, errMsg := j.snapshot()
 		writeJSON(w, http.StatusOK, JobStatus{Key: key, State: state, Error: errMsg})
@@ -437,7 +471,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 // handleResult is GET /v1/jobs/{key}/result: the manifest when ready,
 // 202 with status while the job runs, 404 otherwise.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	key := r.PathValue("key")
+	key, ok := pathKey(w, r)
+	if !ok {
+		return
+	}
 	if data, ok := s.cache.Get(key); ok {
 		w.Header().Set(ResultHeader, "hit")
 		serveManifest(w, data)

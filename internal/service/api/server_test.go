@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"testing"
@@ -362,6 +364,50 @@ func TestStatusAndResultLifecycle(t *testing.T) {
 	}
 }
 
+// A {key} path segment that is not a canonical content address — in
+// particular an escaped traversal like ..%2Fvictim, which ServeMux
+// unescapes into a relative path — must be answered 404 before any
+// cache or disk access: a file next to the cache directory is neither
+// disclosed nor quarantine-renamed.
+func TestTraversalKeyRejected(t *testing.T) {
+	base := t.TempDir()
+	c, err := cache.New(cache.Config{Dir: filepath.Join(base, "cache")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Cache: c})
+	// cache.path("../victim") would resolve here if a traversal key got
+	// through.
+	victim := filepath.Join(base, "victim.entry")
+	if err := os.WriteFile(victim, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{
+		"/v1/jobs/..%2Fvictim",
+		"/v1/jobs/..%2Fvictim/result",
+		"/v1/jobs/..%2Fvictim/events",
+		"/v1/jobs/..%2F..%2Fetc%2Fpasswd/result",
+		"/v1/jobs/notakey",
+		"/v1/jobs/v1:deadbeef/result", // well-formed prefix, not a full address
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readBody(t, resp)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: %d, want 404", path, resp.StatusCode)
+		}
+	}
+	if got, err := os.ReadFile(victim); err != nil || string(got) != "precious" {
+		t.Errorf("victim file touched: %q, %v", got, err)
+	}
+	if _, err := os.Stat(victim + ".corrupt"); !os.IsNotExist(err) {
+		t.Error("victim file quarantined")
+	}
+}
+
 func TestStatsAndWorkloads(t *testing.T) {
 	_, ts := newTestServer(t, Config{Version: "test"})
 	readBody(t, submit(t, ts, smallSpec(61), true))
@@ -424,7 +470,7 @@ func TestJobPubSub(t *testing.T) {
 	}
 
 	j.unsubscribe(ch)
-	j.complete()
+	j.complete([]byte(`"r"`))
 	select {
 	case <-j.done:
 	default:

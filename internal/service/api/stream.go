@@ -71,7 +71,10 @@ func terminalEvent(key, state, errMsg string) Event {
 // in-flight job) yields a single terminal "done" event so late
 // subscribers see a well-formed, finite stream.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	key := r.PathValue("key")
+	key, ok := pathKey(w, r)
+	if !ok {
+		return
+	}
 	j := s.lookupJob(key)
 	if j == nil {
 		if _, ok := s.cache.Get(key); !ok {

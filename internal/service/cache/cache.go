@@ -46,6 +46,7 @@ type Stats struct {
 	DiskHits    int64 `json:"disk_hits"`
 	Misses      int64 `json:"misses"`
 	Puts        int64 `json:"puts"`
+	PutErrors   int64 `json:"put_errors"`
 	Quarantined int64 `json:"quarantined"`
 	MemEntries  int   `json:"mem_entries"`
 }
@@ -72,6 +73,9 @@ type memEntry struct {
 func New(cfg Config) (*Cache, error) {
 	if cfg.MemEntries == 0 {
 		cfg.MemEntries = DefaultMemEntries
+	}
+	if cfg.Dir == "" && cfg.MemEntries < 0 {
+		return nil, fmt.Errorf("cache: memory tier disabled and no disk directory; such a cache can never serve a result")
 	}
 	if cfg.Dir != "" {
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
@@ -131,7 +135,13 @@ func (c *Cache) Put(key string, data []byte) error {
 	c.stats.Puts++
 	c.mu.Unlock()
 	c.memPut(key, data)
-	return c.diskPut(key, data)
+	if err := c.diskPut(key, data); err != nil {
+		c.mu.Lock()
+		c.stats.PutErrors++
+		c.mu.Unlock()
+		return err
+	}
+	return nil
 }
 
 // memPut inserts into the LRU front, evicting the coldest entry past
@@ -170,11 +180,32 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, strings.ReplaceAll(key, ":", "-")+".entry")
 }
 
+// filenameSafe reports whether key maps to a single file name inside
+// the cache directory. Keys the daemon generates (service.Key) always
+// pass; the check is defence in depth so a hostile key can never
+// become a relative ("../x") or absolute path once joined — the HTTP
+// layer's stricter ValidKey gate is the first line.
+func filenameSafe(key string) bool {
+	if key == "" {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		switch c := key[i]; {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == ':', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // diskGet reads and validates a disk entry. Any defect — unreadable
 // JSON, wrong key, checksum mismatch — quarantines the file and
 // reports a miss, so a corrupt entry is re-simulated, never served.
+// An unsafe key is a plain miss: it touches no file at all.
 func (c *Cache) diskGet(key string) ([]byte, bool) {
-	if c.dir == "" {
+	if c.dir == "" || !filenameSafe(key) {
 		return nil, false
 	}
 	path := c.path(key)
@@ -207,6 +238,9 @@ func (c *Cache) diskGet(key string) ([]byte, bool) {
 func (c *Cache) diskPut(key string, data []byte) error {
 	if c.dir == "" {
 		return nil
+	}
+	if !filenameSafe(key) {
+		return fmt.Errorf("cache: key %q is not filename-safe", key)
 	}
 	sum := sha256.Sum256(data)
 	hdrRaw, err := json.Marshal(header{Key: key, SHA256: hex.EncodeToString(sum[:])})

@@ -142,6 +142,48 @@ func TestCorruptionQuarantine(t *testing.T) {
 	}
 }
 
+// A key carrying path separators must never touch a file outside the
+// cache directory: Get is a plain miss (no quarantine rename of the
+// target), Put refuses to write.
+func TestUnsafeKeyIsolated(t *testing.T) {
+	base := t.TempDir()
+	c, err := New(Config{Dir: filepath.Join(base, "cache"), MemEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// path("../victim") would resolve to base/victim.entry — plant a
+	// file there and prove the cache never reads, renames, or writes it.
+	victim := filepath.Join(base, "victim.entry")
+	if err := os.WriteFile(victim, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"../victim", "..", "a/b", `a\b`, "/abs", ""} {
+		if _, ok := c.Get(key); ok {
+			t.Errorf("Get(%q) hit", key)
+		}
+		if err := c.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) succeeded", key)
+		}
+	}
+	if got, err := os.ReadFile(victim); err != nil || string(got) != "precious" {
+		t.Errorf("victim file touched: %q, %v", got, err)
+	}
+	if _, err := os.Stat(victim + ".corrupt"); !os.IsNotExist(err) {
+		t.Error("victim file quarantined")
+	}
+	if s := c.Stats(); s.Quarantined != 0 {
+		t.Errorf("stats: %+v", s)
+	}
+}
+
+// A cache with the memory tier disabled and no disk directory can
+// never serve anything; New must refuse to build it.
+func TestNewRejectsNoTiers(t *testing.T) {
+	if _, err := New(Config{MemEntries: -1}); err == nil {
+		t.Fatal("New accepted a cache with no tiers")
+	}
+}
+
 func TestDiskDisabled(t *testing.T) {
 	c, err := New(Config{MemEntries: 2})
 	if err != nil {
@@ -216,6 +258,42 @@ func TestSingleFlightCoalescing(t *testing.T) {
 	})
 	if err != nil || !hit || !bytes.Equal(data, []byte(`"result"`)) {
 		t.Errorf("post-flight get = %q hit=%v err=%v", data, hit, err)
+	}
+}
+
+// A disk-write failure after a successful computation must not fail
+// the flight: the payload is still returned (and held by the memory
+// tier), with the persistence failure counted in Stats.PutErrors.
+func TestGetOrComputePutFailureStillServes(t *testing.T) {
+	c := newTest(t, 4)
+	// Break the disk tier: replace its directory with a plain file so
+	// every CreateTemp under it fails.
+	if err := os.RemoveAll(c.dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.dir, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var g Group
+	payload := []byte(`"computed"`)
+	data, hit, err := c.GetOrCompute(&g, "v1:pf", func() ([]byte, error) { return payload, nil })
+	if err != nil {
+		t.Fatalf("compute failed on a disk-write error: %v", err)
+	}
+	if hit || !bytes.Equal(data, payload) {
+		t.Errorf("got %q hit=%v", data, hit)
+	}
+	if s := c.Stats(); s.PutErrors != 1 {
+		t.Errorf("stats: %+v", s)
+	}
+	// The memory tier still serves the result.
+	data, hit, err = c.GetOrCompute(&g, "v1:pf", func() ([]byte, error) {
+		t.Error("recomputed despite memory tier")
+		return nil, nil
+	})
+	if err != nil || !hit || !bytes.Equal(data, payload) {
+		t.Errorf("post-failure get = %q hit=%v err=%v", data, hit, err)
 	}
 }
 

@@ -78,7 +78,12 @@ func (c *Cache) GetOrCompute(g *Group, key string, compute func() ([]byte, error
 		if err != nil {
 			return nil, err
 		}
-		return data, c.Put(key, data)
+		// Storing is best-effort durable: the computation succeeded and
+		// this flight's waiters (plus the memory tier, when enabled)
+		// already have the payload, so a disk-write failure is counted
+		// in Stats.PutErrors rather than surfaced as a compute failure.
+		c.Put(key, data) //nolint:errcheck
+		return data, nil
 	})
 	if err != nil {
 		return nil, false, err

@@ -33,6 +33,27 @@ func Key(cfg sim.Config, apps []string, policy string, seed uint64) string {
 	return KeyVersion + ":" + hex.EncodeToString(sum[:])
 }
 
+// ValidKey reports whether key has the exact canonical form Key
+// produces: the KeyVersion prefix, a colon, and 64 lowercase hex
+// digits. The HTTP layer gates every client-supplied key on this
+// before any cache access — Go's ServeMux unescapes path wildcards,
+// so without the gate a segment like "..%2F..%2Fetc%2Fpasswd" would
+// reach the disk tier as a relative path.
+func ValidKey(key string) bool {
+	const hexLen = sha256.Size * 2
+	prefix := KeyVersion + ":"
+	if len(key) != len(prefix)+hexLen || key[:len(prefix)] != prefix {
+		return false
+	}
+	for i := len(prefix); i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // canonical renders the request in the fixed field order the key
 // hashes. Every value is written explicitly — no struct marshalling —
 // so field reordering in the config types cannot reorder the hash

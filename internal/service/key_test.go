@@ -156,3 +156,30 @@ func TestKeyShape(t *testing.T) {
 		t.Errorf("key %q is not a %s-prefixed hex SHA-256", k, KeyVersion)
 	}
 }
+
+// ValidKey must accept exactly what Key produces and nothing that
+// could name a file path — it is the HTTP layer's traversal gate.
+func TestValidKey(t *testing.T) {
+	if k := Key(sim.DefaultConfig(2), []string{"sje", "lib"}, "baseline", 1); !ValidKey(k) {
+		t.Errorf("ValidKey rejects Key output %q", k)
+	}
+	hex64 := strings.Repeat("0f", 32)
+	for _, bad := range []string{
+		"",
+		"v1:",
+		"v1:deadbeef",                        // too short
+		"v2:" + hex64,                        // wrong version
+		hex64,                                // no prefix
+		"v1:" + strings.Repeat("0F", 32),     // uppercase hex
+		"v1:" + strings.Repeat("0g", 32),     // non-hex
+		"v1:" + hex64 + "0",                  // too long
+		"../../etc/passwd",                   // traversal
+		"v1:../" + hex64[:len(hex64)-3],      // traversal, right length
+		"/etc/passwd",                        // absolute
+		"v1:" + hex64[:len(hex64)-1] + "\x00", // NUL
+	} {
+		if ValidKey(bad) {
+			t.Errorf("ValidKey accepts %q", bad)
+		}
+	}
+}
