@@ -121,3 +121,18 @@ func BenchmarkAccessSteadyState(b *testing.B) {
 		s.step(1)
 	}
 }
+
+// BenchmarkDecisionTraceOff pins the decision tracer's disabled cost:
+// with no tracer attached, the QBS eviction path — the mode with the
+// most decision-snapshot work to skip — must run allocation-free and
+// at baseline speed. The nil-tracer guard is a single predictable
+// branch; with -benchmem the allocs/op column is the CI gate.
+func BenchmarkDecisionTraceOff(b *testing.B) {
+	s := newStepper(b, func(c *hierarchy.Config) { c.TLA = hierarchy.TLAQBS })
+	s.step(200_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step(1)
+	}
+}

@@ -49,6 +49,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit tables as JSON instead of text")
 	interval := flag.Uint64("interval", 0,
 		"sample per-core time series every N instructions; CSVs land under <out>/intervals/ (0 = off)")
+	decisionTraces := flag.Bool("decision-traces", false,
+		"record a binary TLAD1 LLC decision trace per simulation cell under <out>/decisions/ (requires -out; analyze with cmd/tlatrace)")
 	debugAddr := flag.String("debug-addr", "",
 		"serve net/http/pprof and expvar on this address during the run, e.g. localhost:6060")
 	showVersion := flag.Bool("version", false, "print build version and exit")
@@ -123,7 +125,7 @@ func main() {
 			failed = append(failed, names[i:]...)
 			break
 		}
-		if err := runOne(name, runners[i], opts, *out, *jsonOut); err != nil {
+		if err := runOne(name, runners[i], opts, *out, *jsonOut, *decisionTraces); err != nil {
 			log.Printf("%s: %v", name, err)
 			failed = append(failed, name)
 		}
@@ -136,11 +138,14 @@ func main() {
 
 // runOne regenerates a single experiment: tables to stdout, CSVs and
 // the run manifest under outDir when set.
-func runOne(name string, run experiments.Runner, opts experiments.Options, outDir string, jsonOut bool) error {
+func runOne(name string, run experiments.Runner, opts experiments.Options, outDir string, jsonOut, decisionTraces bool) error {
 	col := runner.NewCollector()
 	opts.Stats = col
 	if opts.SampleEvery > 0 && outDir != "" {
 		opts.SampleDir = filepath.Join(outDir, "intervals", name)
+	}
+	if decisionTraces && outDir != "" {
+		opts.DecisionTraceDir = filepath.Join(outDir, "decisions", name)
 	}
 	start := time.Now()
 	tables, err := run(opts)

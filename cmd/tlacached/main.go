@@ -27,10 +27,12 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -72,6 +74,8 @@ func runDaemon(ctx context.Context, args []string, stdout, stderr io.Writer) int
 	burst := fs.Float64("burst", 8, "admission burst capacity in jobs")
 	drain := fs.Duration("drain", 30*time.Second, "shutdown deadline for in-flight simulations")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/tlacache introspection on this address")
+	logFormat := fs.String("log-format", "text", "request log format: text or json")
+	logLevel := fs.String("log-level", "info", "request log level: debug, info, warn, error, or off")
 	showVersion := fs.Bool("version", false, "print build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -79,6 +83,11 @@ func runDaemon(ctx context.Context, args []string, stdout, stderr io.Writer) int
 	if *showVersion {
 		fmt.Fprintln(stdout, cli.Version())
 		return 0
+	}
+	logger, err := buildLogger(stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(stderr, "tlacached:", err)
+		return 2
 	}
 
 	store, err := cache.New(cache.Config{Dir: *cacheDir, MemEntries: *memEntries})
@@ -95,11 +104,13 @@ func runDaemon(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		Admission: queue.NewAdmission(*queueLimit, bucket),
 		Workers:   *workers,
 		Version:   cli.Version(),
+		Logger:    logger,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "tlacached:", err)
 		return 1
 	}
+	api.PublishExpvars(server)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -114,7 +125,7 @@ func runDaemon(ctx context.Context, args []string, stdout, stderr io.Writer) int
 			return 1
 		}
 	}
-	fmt.Fprintf(stdout, "tlacached: listening on %s (cache-dir %q, workers %d, queue %d)\n",
+	fmt.Fprintf(stdout, "tlacached: listening on %s (cache-dir %q, workers %d, queue %d; metrics on /metrics)\n",
 		bound, *cacheDir, *workers, *queueLimit)
 
 	if *debugAddr != "" {
@@ -156,4 +167,25 @@ func runDaemon(ctx context.Context, args []string, stdout, stderr io.Writer) int
 	}
 	fmt.Fprintln(stdout, "tlacached: bye")
 	return code
+}
+
+// buildLogger maps the -log-format/-log-level flags to a slog.Logger
+// writing to w; level "off" returns nil, disabling request logging.
+func buildLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	if strings.EqualFold(level, "off") {
+		return nil, nil
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level: %w", err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format: unknown format %q (text or json)", format)
+	}
 }

@@ -30,12 +30,14 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
 	"text/tabwriter"
 
 	"tlacache/internal/cli"
+	"tlacache/internal/hierarchy"
 	"tlacache/internal/runner"
 	"tlacache/internal/sim"
 	"tlacache/internal/telemetry"
@@ -65,6 +67,8 @@ func main() {
 		"sample per-core IPC/MPKI/inclusion-victim time series every N instructions (0 = off)")
 	telemetryOut := flag.String("telemetry-out", "tlasim-intervals",
 		"path prefix for -interval output; writes <prefix>.csv and <prefix>.jsonl (suffix -<policy> when comparing)")
+	decisionTrace := flag.String("decision-trace", "",
+		"record every LLC eviction decision to this file (.jsonl extension = JSON lines, else binary TLAD1; analyze with cmd/tlatrace); -<policy> inserted before the extension when comparing")
 	debugAddr := flag.String("debug-addr", "",
 		"serve net/http/pprof and expvar on this address during the run, e.g. localhost:6060")
 	showVersion := flag.Bool("version", false, "print build version and exit")
@@ -176,6 +180,40 @@ func main() {
 					out.Sampler = telemetry.NewSampler(*interval)
 					cfg.Sampler = out.Sampler
 				}
+				if *decisionTrace != "" {
+					path := decisionTracePath(*decisionTrace, p, len(policies) > 1)
+					f, ferr := os.Create(path)
+					if ferr != nil {
+						return out, ferr
+					}
+					meta := hierarchy.DecisionMetaFor(cfg.Hierarchy)
+					var sink interface {
+						telemetry.DecisionTracer
+						Count() uint64
+						Flush() error
+					}
+					if strings.HasSuffix(path, ".jsonl") {
+						sink, ferr = telemetry.NewDecisionJSONLWriter(f, meta)
+					} else {
+						sink, ferr = telemetry.NewDecisionWriter(f, meta)
+					}
+					if ferr != nil {
+						f.Close()
+						return out, ferr
+					}
+					cfg.DecisionTracer = sink
+					defer func() {
+						if ferr := sink.Flush(); ferr != nil && err == nil {
+							err = ferr
+						}
+						if cerr := f.Close(); cerr != nil && err == nil {
+							err = cerr
+						}
+						if err == nil {
+							log.Printf("decision trace: wrote %s (%d decisions)", path, sink.Count())
+						}
+					}()
+				}
 				// The audit mode needs a recorder attached so its
 				// probe/traffic cross-checks have counts to compare.
 				if *interval > 0 || *audit > 0 {
@@ -275,6 +313,17 @@ func main() {
 		}
 		summary.Flush()
 	}
+}
+
+// decisionTracePath derives one policy's decision-trace path: when
+// comparing, the policy name is inserted before the extension so
+// parallel jobs never write to the same file.
+func decisionTracePath(base, policy string, comparing bool) string {
+	if !comparing {
+		return base
+	}
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "-" + policy + ext
 }
 
 // traceFactory loads TLAT1 files once and returns a factory minting

@@ -1,0 +1,149 @@
+// Command tlatrace analyzes LLC eviction decision traces captured with
+// tlasim -decision-trace or experiments -decision-traces, and runs
+// trace-grounded counterfactuals.
+//
+// Usage:
+//
+//	tlatrace analyze trace.tlad [more traces...]
+//	tlatrace analyze -json trace.jsonl
+//	tlatrace counterfactual -mix sje,lib -base baseline -alt qbs
+//	tlatrace counterfactual -mix MIX_10 -base baseline -alt qbs -llc 512KB -json
+//
+// analyze replays one or more decision traces (binary TLAD1 or JSONL,
+// sniffed automatically) and prints a per-policy decision-quality
+// report: cold-fill/eviction/dirty rates, inclusion-victim attribution,
+// the rank histogram of chosen ways, and the per-eviction QBS
+// counterfactual (how often a query-based victim choice would have
+// differed, and what it would have saved).
+//
+// counterfactual runs the full engine on a seeded config: the base
+// policy simulates once with a decision tracer attached, the
+// alternative policy simulates once as ground truth, and the report
+// contrasts the trace-level prediction with the measured policy delta.
+// Both runs are deterministic: the same invocation always renders
+// byte-identical output, regardless of GOMAXPROCS.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"tlacache/internal/cli"
+	"tlacache/internal/decision"
+	"tlacache/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tlatrace: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "analyze":
+		analyze(os.Args[2:])
+	case "counterfactual":
+		counterfactual(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		log.Printf("unknown subcommand %q", os.Args[1])
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tlatrace analyze [-json] <trace>...
+  tlatrace counterfactual [-json] -mix <mix> -base <policy> -alt <policy> [flags]
+
+run "tlatrace <subcommand> -h" for flags.`)
+	os.Exit(2)
+}
+
+func analyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit reports as JSON")
+	fs.Parse(args)
+	paths := fs.Args()
+	if len(paths) == 0 {
+		log.Fatal("analyze: no trace files given")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	for i, path := range paths {
+		rep, err := decision.AnalyzeFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *jsonOut {
+			if err := enc.Encode(rep); err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		if len(paths) > 1 {
+			fmt.Printf("== %s ==\n", path)
+		}
+		if err := rep.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func counterfactual(args []string) {
+	fs := flag.NewFlagSet("counterfactual", flag.ExitOnError)
+	mixArg := fs.String("mix", "sje,lib", "Table II mix name or comma-separated benchmark tags")
+	basePolicy := fs.String("base", "baseline",
+		"policy the decision trace is captured under ("+strings.Join(cli.PolicyNames(), " | ")+")")
+	altPolicy := fs.String("alt", "qbs", "counterfactual policy simulated directly as ground truth")
+	llc := fs.String("llc", "", "LLC size override, e.g. 512KB, 1MB")
+	n := fs.Uint64("n", 400_000, "measured instructions per core")
+	w := fs.Uint64("w", 400_000, "warmup instructions per core")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	noPrefetch := fs.Bool("no-prefetch", false, "disable the stream prefetcher")
+	jsonOut := fs.Bool("json", false, "emit the result as JSON")
+	fs.Parse(args)
+
+	mix, err := cli.ResolveMix(*mixArg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(len(mix.Apps))
+	cfg.Instructions = *n
+	cfg.Warmup = *w
+	cfg.Seed = *seed
+	cfg.Hierarchy.EnablePrefetch = !*noPrefetch
+	if *llc != "" {
+		size, err := cli.ParseSize(*llc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Hierarchy.LLCSize = size
+	}
+
+	res, err := decision.RunCounterfactual(decision.CounterfactualConfig{
+		Sim: cfg, Mix: mix, BasePolicy: *basePolicy, AltPolicy: *altPolicy,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := res.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -8,17 +8,26 @@ import (
 )
 
 // ProbeGuardAnalyzer enforces the telemetry layer's cost contract:
-// probe event methods fire on hot simulation paths, so every call must
-// be dominated by a nil check of the probe — the single-branch guard
-// that makes the disabled (nil-probe) configuration effectively free.
-// An unguarded call both panics when telemetry is off and signals that
-// a new fire site skipped the guard convention.
+// observer methods (the event probe and the decision tracer) fire on
+// hot simulation paths, so every call must be dominated by a nil check
+// of the observer — the single-branch guard that makes the disabled
+// (nil-observer) configuration effectively free. An unguarded call
+// both panics when telemetry is off and signals that a new fire site
+// skipped the guard convention.
 var ProbeGuardAnalyzer = &Analyzer{
 	Name:    "probeguard",
-	Doc:     "telemetry.Probe method calls must be dominated by a nil check of the probe",
+	Doc:     "telemetry observer calls (Probe, DecisionTracer) must be dominated by a nil check",
 	Default: true,
 	Run:     runProbeGuard,
 }
+
+// probeInterfaces names the telemetry observer interfaces the guard
+// protects; probeFields is the field-name fallback when type
+// information is unavailable.
+var (
+	probeInterfaces = map[string]bool{"Probe": true, "DecisionTracer": true}
+	probeFields     = map[string]bool{"probe": true, "Probe": true, "tracer": true, "Tracer": true}
+)
 
 func runProbeGuard(pass *Pass) {
 	walkWithStack(pass.Pkg, func(n ast.Node, stack []ast.Node) {
@@ -43,15 +52,15 @@ func runProbeGuard(pass *Pass) {
 	})
 }
 
-// isProbeExpr reports whether e denotes a telemetry probe: its static
-// type is a named interface called Probe from a telemetry package, or
-// (fallback when types are unavailable) it selects a field named
-// "probe" or "Probe".
+// isProbeExpr reports whether e denotes a telemetry observer: its
+// static type is a named interface from a telemetry package in
+// probeInterfaces, or (fallback when types are unavailable) it selects
+// a field in probeFields.
 func isProbeExpr(pass *Pass, e ast.Expr) bool {
 	if t := pass.TypeOf(e); t != nil {
 		if named, ok := t.(*types.Named); ok {
 			obj := named.Obj()
-			if obj.Name() == "Probe" && obj.Pkg() != nil &&
+			if probeInterfaces[obj.Name()] && obj.Pkg() != nil &&
 				strings.HasSuffix(obj.Pkg().Path(), "telemetry") {
 				_, isIface := named.Underlying().(*types.Interface)
 				return isIface
@@ -60,7 +69,7 @@ func isProbeExpr(pass *Pass, e ast.Expr) bool {
 		return false
 	}
 	if sel, ok := e.(*ast.SelectorExpr); ok {
-		return sel.Sel.Name == "probe" || sel.Sel.Name == "Probe"
+		return probeFields[sel.Sel.Name]
 	}
 	return false
 }

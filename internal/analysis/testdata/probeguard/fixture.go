@@ -58,3 +58,38 @@ func (h *Hierarchy) Closure(addr uint64) func() {
 		h.probe.Hit(addr) // want `h\.probe\.Hit called without a dominating nil check`
 	}
 }
+
+// DecisionTracer is the fixture's stand-in for the LLC victim-decision
+// tracer interface; as a named telemetry interface it gets the same
+// guard treatment as Probe.
+type DecisionTracer interface {
+	Decision(seq uint64)
+}
+
+// Machine owns an optional decision tracer, nil when tracing is off.
+type Machine struct {
+	tracer DecisionTracer
+}
+
+// TracedEviction shows the accepted shapes for tracer fire sites.
+func (m *Machine) TracedEviction(seq uint64) {
+	if m.tracer != nil {
+		m.tracer.Decision(seq)
+	}
+	if m.tracer == nil {
+		return
+	}
+	m.tracer.Decision(seq)
+}
+
+// UnguardedEviction fires the tracer with no dominating nil check.
+func (m *Machine) UnguardedEviction(seq uint64) {
+	m.tracer.Decision(seq) // want `m\.tracer\.Decision called without a dominating nil check`
+}
+
+// GuardWrongObserver checks the probe but fires the tracer.
+func (m *Machine) GuardWrongObserver(h *Hierarchy, seq uint64) {
+	if h.probe != nil {
+		m.tracer.Decision(seq) // want `m\.tracer\.Decision called without a dominating nil check`
+	}
+}

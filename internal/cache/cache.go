@@ -376,6 +376,31 @@ func (c *Cache) VictimWay(set int) int {
 // PeekVictim returns a copy of the line VictimWay would displace.
 func (c *Cache) PeekVictim(set int) Line { return c.Line(set, c.VictimWay(set)) }
 
+// WayRank returns the replacement policy's eviction-preference rank for
+// (set, way) — 0 most protected, larger closer to eviction (see
+// replacement.Ranker) — or telemetry.RankUnknown (0xFF) when the policy
+// exposes no per-way rank. Read-only; used by decision tracing to
+// snapshot candidate state.
+func (c *Cache) WayRank(set, way int) uint8 {
+	if c.lru != nil {
+		return c.lru.WayRank(set, way)
+	}
+	if c.nru != nil {
+		return c.nru.WayRank(set, way)
+	}
+	if c.srrip != nil {
+		return c.srrip.WayRank(set, way)
+	}
+	if r, ok := c.policy.(replacement.Ranker); ok {
+		return r.WayRank(set, way)
+	}
+	return rankUnknown
+}
+
+// rankUnknown mirrors telemetry.RankUnknown; duplicated here because
+// the cache package sits below telemetry in the dependency order.
+const rankUnknown uint8 = 0xFF
+
 // PromoteWay moves (set, way) to the most-protected replacement
 // position. Used by QBS when a query finds the candidate resident in a
 // core cache, and by hit handling when the line's set/way is already

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"text/tabwriter"
@@ -58,6 +59,10 @@ type Options struct {
 	// SampleDir, when set alongside SampleEvery, receives one
 	// <mix>-<spec>-intervals.{csv,jsonl} time-series pair per cell.
 	SampleDir string
+	// DecisionTraceDir, when set, attaches an LLC decision tracer to
+	// every simulation cell and writes one binary TLAD1 trace per cell,
+	// <mix>-<spec>-decisions.tlad, for offline analysis with cmd/tlatrace.
+	DecisionTraceDir string
 }
 
 // DefaultOptions balance fidelity and runtime: the warmup is long
@@ -215,6 +220,11 @@ func runMatrix(o Options, cores int, mixes []workload.Mix, specs []Spec, mutate 
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
+	if o.DecisionTraceDir != "" {
+		if err := os.MkdirAll(o.DecisionTraceDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
 	m := &matrix{mixes: mixes, specs: specs, results: make([][]sim.MixResult, len(mixes))}
 	cfg := o.simConfig(cores)
 	if mutate != nil {
@@ -228,7 +238,7 @@ func runMatrix(o Options, cores int, mixes []workload.Mix, specs []Spec, mutate 
 			jobs = append(jobs, runner.Job[sim.MixResult]{
 				Name: mix.Name + "/" + spec.Name,
 				Work: work,
-				Run: func(context.Context) (sim.MixResult, error) {
+				Run: func(context.Context) (res sim.MixResult, err error) {
 					c := cfg
 					var rec *telemetry.Recorder
 					if o.SampleEvery > 0 {
@@ -238,7 +248,33 @@ func runMatrix(o Options, cores int, mixes []workload.Mix, specs []Spec, mutate 
 						rec = telemetry.NewRecorder()
 						c.Probe = rec
 					}
-					res, err := runCell(c, spec, mix)
+					if o.DecisionTraceDir != "" {
+						// Each cell owns its decision-trace writer; the
+						// meta header reflects the spec-mutated geometry.
+						hc := c.Hierarchy
+						spec.Apply(&hc)
+						path := filepath.Join(o.DecisionTraceDir,
+							sanitizeName(mix.Name+"-"+spec.Name)+"-decisions.tlad")
+						f, ferr := os.Create(path)
+						if ferr != nil {
+							return res, ferr
+						}
+						dw, ferr := telemetry.NewDecisionWriter(f, hierarchy.DecisionMetaFor(hc))
+						if ferr != nil {
+							f.Close()
+							return res, ferr
+						}
+						c.DecisionTracer = dw
+						defer func() {
+							if ferr := dw.Flush(); ferr != nil && err == nil {
+								err = ferr
+							}
+							if cerr := f.Close(); cerr != nil && err == nil {
+								err = cerr
+							}
+						}()
+					}
+					res, err = runCell(c, spec, mix)
 					if err != nil {
 						return res, fmt.Errorf("%s under %s: %w", mix.Name, spec.Name, err)
 					}

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"tlacache/internal/cache"
+	"tlacache/internal/telemetry"
 )
 
 // Result reports where a demand access was satisfied and its
@@ -317,19 +318,19 @@ func (h *Hierarchy) allocL2(core int, la uint64) {
 	}
 	l2.FillWay(set, way, la, 0)
 	if victim.Valid {
-		h.handleL2Victim(victim)
+		h.handleL2Victim(core, victim)
 	}
 }
 
-// handleL2Victim disposes of a line evicted from an L2. In exclusive
+// handleL2Victim disposes of a line evicted from core's L2. In exclusive
 // mode every L2 victim — clean or dirty — inserts into the LLC (this is
 // the exclusive fill path and the source of its bandwidth cost). In the
 // other modes dirty victims write back to the LLC copy when it exists
 // and to memory otherwise; clean victims are dropped silently, which is
 // why LLC presence bits are a conservative superset.
-func (h *Hierarchy) handleL2Victim(victim cache.Line) {
+func (h *Hierarchy) handleL2Victim(core int, victim cache.Line) {
 	if h.cfg.Inclusion == Exclusive {
-		h.insertLLCFromL2(victim)
+		h.insertLLCFromL2(core, victim)
 		return
 	}
 	if !victim.Dirty {
@@ -341,8 +342,9 @@ func (h *Hierarchy) handleL2Victim(victim cache.Line) {
 }
 
 // insertLLCFromL2 implements the exclusive LLC's fill-on-L2-eviction
-// path.
-func (h *Hierarchy) insertLLCFromL2(victim cache.Line) {
+// path. core identifies the L2 whose eviction is being disposed of
+// (decision traces attribute the choice to it).
+func (h *Hierarchy) insertLLCFromL2(core int, victim cache.Line) {
 	// Guard against the rare duplicate: an L1 writeback can reallocate
 	// a line into the L2 while the LLC already holds a copy.
 	if h.llc.Contains(victim.Addr) {
@@ -363,8 +365,16 @@ func (h *Hierarchy) insertLLCFromL2(victim cache.Line) {
 	}
 	set := h.llc.SetIndex(victim.Addr)
 	way := h.llc.VictimWay(set)
+	if h.tracer != nil {
+		h.beginDecision(core, set, way, victim.Addr)
+	}
+	victims := 0
 	if old := h.llc.Line(set, way); old.Valid {
-		h.evictLLCLine(old)
+		victims = h.evictLLCLine(old)
+	}
+	if h.tracer != nil {
+		h.dec.InclusionVictims = victims
+		h.tracer.Decision(&h.dec)
 	}
 	h.llc.FillWay(set, way, victim.Addr, 0)
 	if victim.Dirty {
@@ -378,8 +388,16 @@ func (h *Hierarchy) insertLLCFromL2(victim cache.Line) {
 func (h *Hierarchy) fillLLC(core int, la uint64, dirty bool) {
 	set := h.llc.SetIndex(la)
 	way := h.selectLLCVictim(set)
+	if h.tracer != nil {
+		h.beginDecision(core, set, way, la)
+	}
+	victims := 0
 	if old := h.llc.Line(set, way); old.Valid {
-		h.evictLLCLine(old)
+		victims = h.evictLLCLine(old)
+	}
+	if h.tracer != nil {
+		h.dec.InclusionVictims = victims
+		h.tracer.Decision(&h.dec)
 	}
 	h.llc.FillWay(set, way, la, 1<<uint(core))
 	if dirty {
@@ -388,6 +406,76 @@ func (h *Hierarchy) fillLLC(core int, la uint64, dirty bool) {
 	if h.cfg.TLA == TLAECI {
 		h.earlyCoreInvalidate(set, la)
 	}
+}
+
+// beginDecision snapshots one LLC victim choice into the reusable
+// scratch record — every candidate way pre-eviction, the chosen way,
+// and the way a read-only QBS emulation would suggest. Called only
+// under the tracer nil-guard; the fire itself happens after eviction so
+// the record can carry the inclusion-victim count.
+//
+//tlavet:hotpath
+func (h *Hierarchy) beginDecision(core, set, way int, la uint64) {
+	d := &h.dec
+	d.Seq++
+	d.Core = core
+	d.Set = set
+	d.NewAddr = la
+	d.ChosenWay = way
+	d.InclusionVictims = 0
+	cands := d.Candidates[:h.cfg.LLCAssoc]
+	for w := range cands {
+		line := h.llc.Line(set, w)
+		cands[w] = telemetry.DecisionCandidate{
+			Way:      w,
+			Addr:     line.Addr,
+			Valid:    line.Valid,
+			Dirty:    line.Dirty,
+			Presence: line.Presence,
+			Rank:     h.llc.WayRank(set, w),
+		}
+	}
+	d.Candidates = cands
+	d.QBSWay = h.qbsSuggestedWay(way)
+}
+
+// qbsSuggestedWay emulates, read-only, the victim QBS would suggest for
+// the decision currently in the scratch record: the chosen way itself
+// when it is empty or core-non-resident (QBS agrees), otherwise the
+// highest-ranked candidate no core cache holds (ties to the lower way,
+// matching the deterministic scan order of real victim selection), or
+// telemetry.NoWay when every candidate is resident — the case where
+// real QBS would exhaust its query budget. The emulation probes the
+// same cache set QBS is configured for (defaulting to all caches when
+// the run's policy is not QBS).
+func (h *Hierarchy) qbsSuggestedWay(chosen int) int {
+	cands := h.dec.Candidates
+	probe := h.cfg.QBSProbe
+	if probe == 0 {
+		probe = AllCaches
+	}
+	c := &cands[chosen]
+	if !c.Valid {
+		return chosen
+	}
+	if pres := h.effectivePresence(c.Presence); pres == 0 || !h.residentInCores(c.Addr, pres, probe) {
+		return chosen
+	}
+	best, bestRank := telemetry.NoWay, -1
+	for w := range cands {
+		if w == chosen {
+			continue
+		}
+		cc := &cands[w]
+		if !cc.Valid || int(cc.Rank) <= bestRank {
+			continue
+		}
+		if pres := h.effectivePresence(cc.Presence); pres != 0 && h.residentInCores(cc.Addr, pres, probe) {
+			continue
+		}
+		best, bestRank = w, int(cc.Rank)
+	}
+	return best
 }
 
 // selectLLCVictim picks the way fillLLC will displace. Under QBS it
@@ -471,11 +559,16 @@ func (h *Hierarchy) residentInCores(addr uint64, presence uint64, probe CacheSet
 
 // evictLLCLine retires a valid line leaving the LLC: inclusive mode
 // back-invalidates the core caches, the victim cache absorbs the line
-// when configured, and dirty data reaches memory.
-func (h *Hierarchy) evictLLCLine(victim cache.Line) {
+// when configured, and dirty data reaches memory. It returns the number
+// of cores that lost a valid copy to the back-invalidation (always 0
+// outside the inclusive mode), which decision tracing records.
+func (h *Hierarchy) evictLLCLine(victim cache.Line) int {
 	dirty := victim.Dirty
+	victims := 0
 	if h.cfg.Inclusion == Inclusive {
-		if h.backInvalidate(victim.Addr, h.effectivePresence(victim.Presence)) {
+		var d bool
+		d, victims = h.backInvalidate(victim.Addr, h.effectivePresence(victim.Presence))
+		if d {
 			dirty = true
 		}
 	}
@@ -485,18 +578,20 @@ func (h *Hierarchy) evictLLCLine(victim cache.Line) {
 			_ = evAddr
 			h.Traffic.WritebacksToMem++
 		}
-		return
+		return victims
 	}
 	if dirty {
 		h.Traffic.WritebacksToMem++
 	}
+	return victims
 }
 
 // backInvalidate removes addr from every core cache of the cores in the
 // presence mask, enforcing inclusion. It returns whether any removed
-// copy was dirty (the data merges into the departing LLC line). Each
-// core that loses a valid copy suffers one inclusion victim.
-func (h *Hierarchy) backInvalidate(addr uint64, presence uint64) (dirty bool) {
+// copy was dirty (the data merges into the departing LLC line) and how
+// many cores lost a valid copy — each such core suffers one inclusion
+// victim.
+func (h *Hierarchy) backInvalidate(addr uint64, presence uint64) (dirty bool, victims int) {
 	for presence != 0 {
 		c := bits.TrailingZeros64(presence)
 		presence &^= 1 << uint(c)
@@ -520,12 +615,13 @@ func (h *Hierarchy) backInvalidate(addr uint64, presence uint64) (dirty bool) {
 		}
 		if removed {
 			h.Cores[c].InclusionVictims++
+			victims++
 			if h.probe != nil {
 				h.probe.InclusionVictim(c, addr)
 			}
 		}
 	}
-	return dirty
+	return dirty, victims
 }
 
 // earlyCoreInvalidate implements ECI: after the regular victim flow of

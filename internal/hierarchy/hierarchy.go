@@ -414,6 +414,14 @@ type Hierarchy struct {
 	// nil-interface branch, so the disabled (nil) cost is negligible.
 	probe telemetry.Probe
 
+	// tracer receives one record per LLC victim choice when non-nil,
+	// guarded like probe by a single nil-interface branch at each fire
+	// site (fillLLC, insertLLCFromL2). dec is the reusable scratch
+	// record; its Candidates buffer is preallocated by SetDecisionTracer
+	// so traced decisions allocate nothing on the hot path.
+	tracer telemetry.DecisionTracer
+	dec    telemetry.Decision
+
 	Cores   []CoreStats
 	Traffic Traffic
 }
@@ -492,6 +500,36 @@ func (h *Hierarchy) Config() Config { return h.cfg }
 // simulator attaches it after the warmup counter reset so probes
 // observe exactly the measurement window.
 func (h *Hierarchy) SetProbe(p telemetry.Probe) { h.probe = p }
+
+// SetDecisionTracer attaches (or, with nil, detaches) an LLC
+// victim-decision tracer. Like SetProbe it is attached after the warmup
+// reset so traces cover exactly the measurement window. The candidate
+// scratch buffer is (re)allocated here, off the hot path, so traced
+// decisions reuse it without allocating.
+func (h *Hierarchy) SetDecisionTracer(t telemetry.DecisionTracer) {
+	h.tracer = t
+	if t != nil && cap(h.dec.Candidates) < h.cfg.LLCAssoc {
+		h.dec.Candidates = make([]telemetry.DecisionCandidate, h.cfg.LLCAssoc)
+	}
+}
+
+// DecisionMeta describes the LLC geometry and policy for decision-trace
+// headers (telemetry.DecisionMeta).
+func (h *Hierarchy) DecisionMeta() telemetry.DecisionMeta {
+	return DecisionMetaFor(h.cfg)
+}
+
+// DecisionMetaFor computes the decision-trace header a run of cfg would
+// produce, without building the hierarchy — callers that open trace
+// files before the simulator constructs its machine need it.
+func DecisionMetaFor(cfg Config) telemetry.DecisionMeta {
+	return telemetry.DecisionMeta{
+		Sets:   int(cfg.LLCSize / (cfg.LineSize * int64(cfg.LLCAssoc))),
+		Assoc:  cfg.LLCAssoc,
+		Policy: cfg.LLCPolicy.String(),
+		Cores:  cfg.Cores,
+	}
+}
 
 // LLC exposes the shared last-level cache (read-only use intended:
 // invariant checks, worked examples, tests).

@@ -1,0 +1,31 @@
+package replacement
+
+// Ranker is an optional interface a Policy may implement to expose a
+// per-way eviction-preference rank for decision tracing: 0 is the most
+// protected way and larger values are closer to eviction, so ordering
+// candidates by descending rank reproduces the policy's victim
+// preference. The scale is policy-relative (an LRU rank is a stack
+// position, an SRRIP rank an RRPV); ranks are comparable within one
+// cache, not across policies. Policies without a meaningful per-way
+// order simply do not implement the interface and trace as
+// telemetry.RankUnknown.
+type Ranker interface {
+	WayRank(set, way int) uint8
+}
+
+// WayRank implements Ranker: the way's recency-stack distance from MRU,
+// so the LRU way has rank assoc-1.
+func (p *LRUStack) WayRank(set, way int) uint8 { return uint8(p.StackPosition(set, way)) }
+
+// WayRank implements Ranker: 0 for a referenced way, 1 for an
+// unreferenced one (the next-generation victim candidates).
+func (p *NRUBits) WayRank(set, way int) uint8 {
+	if p.ref[set*p.assoc+way] {
+		return 0
+	}
+	return 1
+}
+
+// WayRank implements Ranker: the way's re-reference prediction value
+// (max = distant = next to evict).
+func (p *SRRIPTable) WayRank(set, way int) uint8 { return p.rrpv[set*p.assoc+way] }

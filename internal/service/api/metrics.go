@@ -1,0 +1,221 @@
+// Prometheus-style metrics for the daemon, stdlib only: a fixed set
+// of histogram families updated on the request path, rendered on
+// demand as text exposition format (version 0.0.4) alongside gauges
+// and counters read from the cache/admission Stats snapshots at
+// scrape time. Keeping the scrape-time families derived from the same
+// snapshots /v1/stats serves means the two surfaces can never drift.
+package api
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tlacache/internal/service"
+	"tlacache/internal/service/cache"
+	"tlacache/internal/service/queue"
+)
+
+// timeBuckets are the latency histogram bounds in seconds, spanning
+// sub-millisecond cache hits to tens-of-seconds simulations. An array
+// (not a slice) so len(timeBuckets) is a compile-time constant.
+var timeBuckets = [...]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30}
+
+// jobOutcomes and phaseNames fix the label vocabulary (and render
+// order) of the two histogram families.
+var (
+	jobOutcomes = []string{"hit", "miss", "coalesced"}
+	phaseNames  = []string{"admission_wait", "cache_lookup", "simulate", "encode"}
+)
+
+// histogram is a fixed-bucket latency histogram. Goroutine-safe.
+// counts[i] holds observations in (timeBuckets[i-1], timeBuckets[i]];
+// the final slot is the +Inf overflow.
+type histogram struct {
+	mu     sync.Mutex
+	counts [len(timeBuckets) + 1]uint64
+	sum    float64
+	total  uint64
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := 0
+	for i < len(timeBuckets) && seconds > timeBuckets[i] {
+		i++
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += seconds
+	h.total++
+	h.mu.Unlock()
+}
+
+func (h *histogram) snapshot() (counts [len(timeBuckets) + 1]uint64, sum float64, total uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.counts, h.sum, h.total
+}
+
+// metrics holds the server's histogram families. The label maps are
+// fully populated at construction and never mutated after, so lookups
+// need no lock (each histogram locks itself).
+type metrics struct {
+	job   map[string]*histogram // by submission outcome
+	phase map[string]*histogram // by executed-job phase
+}
+
+func newMetrics() *metrics {
+	m := &metrics{
+		job:   make(map[string]*histogram, len(jobOutcomes)),
+		phase: make(map[string]*histogram, len(phaseNames)),
+	}
+	for _, k := range jobOutcomes {
+		m.job[k] = &histogram{}
+	}
+	for _, k := range phaseNames {
+		m.phase[k] = &histogram{}
+	}
+	return m
+}
+
+func (m *metrics) observeJob(outcome string, d time.Duration) {
+	if h := m.job[outcome]; h != nil {
+		h.observe(d.Seconds())
+	}
+}
+
+func (m *metrics) observePhases(p service.PhaseSpans) {
+	m.phase["admission_wait"].observe(p.AdmissionWaitSeconds)
+	m.phase["cache_lookup"].observe(p.CacheLookupSeconds)
+	m.phase["simulate"].observe(p.SimulateSeconds)
+	m.phase["encode"].observe(p.EncodeSeconds)
+}
+
+// formatFloat renders a metric value the way Prometheus clients
+// expect: shortest exact decimal form.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeHistFamily renders one histogram family with its label keys in
+// fixed order, so the exposition is deterministic.
+func writeHistFamily(b *strings.Builder, name, help, label string, keys []string, hists map[string]*histogram) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, k := range keys {
+		counts, sum, total := hists[k].snapshot()
+		cum := uint64(0)
+		for i, ub := range timeBuckets {
+			cum += counts[i]
+			fmt.Fprintf(b, "%s_bucket{%s=%q,le=%q} %d\n", name, label, k, formatFloat(ub), cum)
+		}
+		fmt.Fprintf(b, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, k, total)
+		fmt.Fprintf(b, "%s_sum{%s=%q} %s\n", name, label, k, formatFloat(sum))
+		fmt.Fprintf(b, "%s_count{%s=%q} %d\n", name, label, k, total)
+	}
+}
+
+// StatsSnapshot is the daemon's aggregate state at one instant — the
+// body of /v1/stats, the expvar value, and the source of /metrics'
+// scrape-time gauges and counters.
+type StatsSnapshot struct {
+	Version    string      `json:"version,omitempty"`
+	Cache      cache.Stats `json:"cache"`
+	Admission  queue.Stats `json:"admission"`
+	ActiveJobs int         `json:"active_jobs"`
+	Draining   bool        `json:"draining"`
+}
+
+// statsSnapshot collects the live snapshot.
+func (s *Server) statsSnapshot() StatsSnapshot {
+	s.mu.Lock()
+	active := len(s.jobs)
+	draining := s.draining
+	s.mu.Unlock()
+	return StatsSnapshot{
+		Version:    s.version,
+		Cache:      s.cache.Stats(),
+		Admission:  s.adm.Stats(),
+		ActiveJobs: active,
+		Draining:   draining,
+	}
+}
+
+// handleMetrics is GET /metrics: Prometheus text exposition of the
+// request-path histograms plus scrape-time gauges and counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.statsSnapshot()
+	var b strings.Builder
+
+	writeHistFamily(&b, "tlacached_job_seconds",
+		"Time to answer a job submission, by outcome.",
+		"outcome", jobOutcomes, s.metrics.job)
+	writeHistFamily(&b, "tlacached_job_phase_seconds",
+		"Wall time of each daemon phase of an executed job.",
+		"phase", phaseNames, s.metrics.phase)
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatFloat(v))
+	}
+
+	fmt.Fprintf(&b, "# HELP tlacached_cache_hits_total Result-cache hits by tier.\n"+
+		"# TYPE tlacached_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "tlacached_cache_hits_total{tier=\"mem\"} %d\n", snap.Cache.MemHits)
+	fmt.Fprintf(&b, "tlacached_cache_hits_total{tier=\"disk\"} %d\n", snap.Cache.DiskHits)
+	counter("tlacached_cache_misses_total", "Result-cache misses.", snap.Cache.Misses)
+	counter("tlacached_cache_puts_total", "Result-cache fills.", snap.Cache.Puts)
+	counter("tlacached_cache_put_errors_total", "Disk-tier write failures.", snap.Cache.PutErrors)
+	counter("tlacached_cache_quarantined_total", "Corrupt disk entries quarantined.", snap.Cache.Quarantined)
+	counter("tlacached_cache_mem_evictions_total", "Memory-tier LRU evictions.", snap.Cache.MemEvictions)
+	gauge("tlacached_cache_mem_entries", "Memory-tier resident entries.", float64(snap.Cache.MemEntries))
+
+	counter("tlacached_admission_admitted_total", "Submissions admitted as new jobs.", snap.Admission.Admitted)
+	counter("tlacached_admission_rejections_total", "Submissions rejected by admission control.", snap.Admission.Rejected)
+	gauge("tlacached_admission_tokens", "Rate-gate tokens currently available (0 when unlimited).", snap.Admission.Tokens)
+	gauge("tlacached_admission_burst", "Rate-gate burst capacity (0 when unlimited).", snap.Admission.Burst)
+	gauge("tlacached_queue_depth", "Jobs queued or running.", float64(snap.Admission.InFlight))
+	gauge("tlacached_queue_limit", "Admission in-flight bound (0 = unbounded).", float64(snap.Admission.Limit))
+
+	gauge("tlacached_jobs_active", "Jobs in the in-flight registry.", float64(snap.ActiveJobs))
+	draining := 0.0
+	if snap.Draining {
+		draining = 1
+	}
+	gauge("tlacached_draining", "1 while the daemon drains for shutdown.", draining)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, b.String()) //nolint:errcheck // client gone; nothing to do
+}
+
+// expvar registration: Publish panics on a duplicate name, so the
+// Func is registered exactly once per process and reads through an
+// atomic pointer — repeated PublishExpvars calls (daemon restarts in
+// tests) just swap which server the published Func reads.
+var (
+	expvarOnce   sync.Once
+	expvarServer atomic.Pointer[Server]
+)
+
+// PublishExpvars exposes s's live StatsSnapshot under the expvar name
+// "tlacached", so a -debug-addr introspection listener's /debug/vars
+// shows daemon counters next to the runtime's memstats.
+func PublishExpvars(s *Server) {
+	expvarServer.Store(s)
+	expvarOnce.Do(func() {
+		expvar.Publish("tlacached", expvar.Func(func() any {
+			srv := expvarServer.Load()
+			if srv == nil {
+				return nil
+			}
+			return srv.statsSnapshot()
+		}))
+	})
+}

@@ -1,0 +1,457 @@
+package api
+
+import (
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"tlacache/internal/service"
+	"tlacache/internal/service/queue"
+)
+
+// metricSample is one parsed exposition line: name{labels} value.
+type metricSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// labelKey renders a sample's labels canonically (sorted, optionally
+// excluding some label names) so series can be grouped.
+func (s metricSample) labelKey(exclude ...string) string {
+	skip := make(map[string]bool, len(exclude))
+	for _, e := range exclude {
+		skip[e] = true
+	}
+	keys := make([]string, 0, len(s.labels))
+	for k := range s.labels {
+		if !skip[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k + "=" + s.labels[k] + ",")
+	}
+	return b.String()
+}
+
+var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$`)
+var labelPair = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"$`)
+
+// scrapeStrict fetches /metrics and parses it under the text
+// exposition format's rules: every line is a comment, HELP, TYPE, or
+// sample; every sample's family has a preceding TYPE; values parse as
+// floats. It returns the samples and the TYPE per family.
+func scrapeStrict(t *testing.T, url string) ([]metricSample, map[string]string) {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body := readBody(t, resp)
+
+	types := make(map[string]string)
+	var samples []metricSample
+	for i, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		lineNo := i + 1
+		switch {
+		case line == "":
+			t.Fatalf("line %d: blank line in exposition", lineNo)
+		case strings.HasPrefix(line, "# HELP "):
+			if len(strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)) != 2 {
+				t.Fatalf("line %d: HELP without text: %q", lineNo, line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown TYPE %q", lineNo, parts[1])
+			}
+			if _, dup := types[parts[0]]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", lineNo, parts[0])
+			}
+			types[parts[0]] = parts[1]
+		case strings.HasPrefix(line, "#"):
+			// other comments permitted
+		default:
+			m := sampleLine.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: unparseable sample: %q", lineNo, line)
+			}
+			name := m[1]
+			labels := make(map[string]string)
+			if m[3] != "" {
+				for _, pair := range strings.Split(m[3], ",") {
+					lm := labelPair.FindStringSubmatch(pair)
+					if lm == nil {
+						t.Fatalf("line %d: bad label pair %q", lineNo, pair)
+					}
+					labels[lm[1]] = lm[2]
+				}
+			}
+			var value float64
+			switch m[4] {
+			case "+Inf":
+				value = math.Inf(1)
+			case "-Inf":
+				value = math.Inf(-1)
+			default:
+				v, err := strconv.ParseFloat(m[4], 64)
+				if err != nil {
+					t.Fatalf("line %d: bad value %q: %v", lineNo, m[4], err)
+				}
+				value = v
+			}
+			family := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if f := strings.TrimSuffix(name, suffix); f != name && types[f] == "histogram" {
+					family = f
+				}
+			}
+			if _, ok := types[family]; !ok {
+				t.Fatalf("line %d: sample %s before its TYPE declaration", lineNo, name)
+			}
+			samples = append(samples, metricSample{name: name, labels: labels, value: value})
+		}
+	}
+	return samples, types
+}
+
+// find returns the single sample with the given name whose labels
+// include want.
+func find(t *testing.T, samples []metricSample, name string, want map[string]string) metricSample {
+	t.Helper()
+	var hits []metricSample
+	for _, s := range samples {
+		if s.name != name {
+			continue
+		}
+		ok := true
+		for k, v := range want {
+			if s.labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			hits = append(hits, s)
+		}
+	}
+	if len(hits) != 1 {
+		t.Fatalf("%s%v: %d matches, want 1", name, want, len(hits))
+	}
+	return hits[0]
+}
+
+// checkHistogram verifies the family's invariants for every series:
+// cumulative buckets are monotone, the +Inf bucket equals _count, and
+// _sum is present and non-negative.
+func checkHistogram(t *testing.T, samples []metricSample, family string) {
+	t.Helper()
+	type series struct {
+		buckets []metricSample
+		sum     *metricSample
+		count   *metricSample
+	}
+	byLabels := make(map[string]*series)
+	get := func(s metricSample) *series {
+		k := s.labelKey("le")
+		if byLabels[k] == nil {
+			byLabels[k] = &series{}
+		}
+		return byLabels[k]
+	}
+	for _, s := range samples {
+		s := s
+		switch s.name {
+		case family + "_bucket":
+			get(s).buckets = append(get(s).buckets, s)
+		case family + "_sum":
+			get(s).sum = &s
+		case family + "_count":
+			get(s).count = &s
+		}
+	}
+	if len(byLabels) == 0 {
+		t.Fatalf("histogram %s has no series", family)
+	}
+	for k, se := range byLabels {
+		if se.sum == nil || se.count == nil || len(se.buckets) == 0 {
+			t.Fatalf("%s{%s}: incomplete series (buckets %d, sum %v, count %v)",
+				family, k, len(se.buckets), se.sum != nil, se.count != nil)
+		}
+		sort.Slice(se.buckets, func(i, j int) bool {
+			return parseLE(t, se.buckets[i]) < parseLE(t, se.buckets[j])
+		})
+		prev := -1.0
+		for _, b := range se.buckets {
+			if b.value < prev {
+				t.Errorf("%s{%s}: bucket counts not monotone at le=%s", family, k, b.labels["le"])
+			}
+			prev = b.value
+		}
+		last := se.buckets[len(se.buckets)-1]
+		if !math.IsInf(parseLE(t, last), 1) {
+			t.Errorf("%s{%s}: missing +Inf bucket", family, k)
+		}
+		if last.value != se.count.value {
+			t.Errorf("%s{%s}: +Inf bucket %v != count %v", family, k, last.value, se.count.value)
+		}
+		if se.sum.value < 0 {
+			t.Errorf("%s{%s}: negative sum %v", family, k, se.sum.value)
+		}
+	}
+}
+
+func parseLE(t *testing.T, s metricSample) float64 {
+	t.Helper()
+	le := s.labels["le"]
+	if le == "+Inf" {
+		return math.Inf(1)
+	}
+	v, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		t.Fatalf("bad le label %q: %v", le, err)
+	}
+	return v
+}
+
+// The metrics endpoint under a known workload: one miss, one hit, one
+// coalesced duplicate. The exposition must parse strictly and the
+// counters must reflect exactly that history.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	// miss then hit on the same spec.
+	r1 := submit(t, ts, smallSpec(71), true)
+	readBody(t, r1)
+	if v := r1.Header.Get(ResultHeader); v != "miss" {
+		t.Fatalf("first submit verdict %q", v)
+	}
+	r2 := submit(t, ts, smallSpec(71), true)
+	readBody(t, r2)
+	if v := r2.Header.Get(ResultHeader); v != "hit" {
+		t.Fatalf("second submit verdict %q", v)
+	}
+	// a slow job plus a waiting duplicate that coalesces onto it.
+	slow := service.JobSpec{
+		Apps: []string{"sje", "lib"}, Seed: 72,
+		Instructions: 3_000_000, Warmup: u64(0),
+	}
+	r3 := submit(t, ts, slow, false)
+	readBody(t, r3)
+	if v := r3.Header.Get(ResultHeader); v != "miss" {
+		t.Fatalf("slow submit verdict %q", v)
+	}
+	r4 := submit(t, ts, slow, true)
+	readBody(t, r4)
+	if v := r4.Header.Get(ResultHeader); v != "coalesced" {
+		t.Fatalf("duplicate submit verdict %q", v)
+	}
+
+	samples, types := scrapeStrict(t, ts.URL)
+
+	for family, wantType := range map[string]string{
+		"tlacached_job_seconds":                "histogram",
+		"tlacached_job_phase_seconds":          "histogram",
+		"tlacached_cache_hits_total":           "counter",
+		"tlacached_cache_misses_total":         "counter",
+		"tlacached_cache_mem_evictions_total":  "counter",
+		"tlacached_admission_admitted_total":   "counter",
+		"tlacached_admission_rejections_total": "counter",
+		"tlacached_queue_depth":                "gauge",
+		"tlacached_jobs_active":                "gauge",
+		"tlacached_draining":                   "gauge",
+	} {
+		if got := types[family]; got != wantType {
+			t.Errorf("family %s has TYPE %q, want %q", family, got, wantType)
+		}
+	}
+	checkHistogram(t, samples, "tlacached_job_seconds")
+	checkHistogram(t, samples, "tlacached_job_phase_seconds")
+
+	for outcome, want := range map[string]float64{"miss": 2, "hit": 1, "coalesced": 1} {
+		got := find(t, samples, "tlacached_job_seconds_count", map[string]string{"outcome": outcome})
+		if got.value != want {
+			t.Errorf("job_seconds_count{outcome=%q} = %v, want %v", outcome, got.value, want)
+		}
+	}
+	// Two jobs executed, so every phase was observed exactly twice.
+	for _, phase := range []string{"admission_wait", "cache_lookup", "simulate", "encode"} {
+		got := find(t, samples, "tlacached_job_phase_seconds_count", map[string]string{"phase": phase})
+		if got.value != 2 {
+			t.Errorf("phase_seconds_count{phase=%q} = %v, want 2", phase, got.value)
+		}
+	}
+	if s := find(t, samples, "tlacached_queue_depth", nil); s.value != 0 {
+		t.Errorf("queue_depth = %v after all jobs finished", s.value)
+	}
+	if s := find(t, samples, "tlacached_jobs_active", nil); s.value != 0 {
+		t.Errorf("jobs_active = %v after all jobs finished", s.value)
+	}
+	if s := find(t, samples, "tlacached_admission_admitted_total", nil); s.value != 2 {
+		t.Errorf("admitted_total = %v, want 2", s.value)
+	}
+	if s := find(t, samples, "tlacached_cache_hits_total", map[string]string{"tier": "mem"}); s.value < 1 {
+		t.Errorf("mem hits %v, want >= 1", s.value)
+	}
+
+	// Scraping twice must be stable modulo values: same families, same
+	// series set.
+	again, _ := scrapeStrict(t, ts.URL)
+	if len(again) != len(samples) {
+		t.Errorf("second scrape has %d samples, first had %d", len(again), len(samples))
+	}
+}
+
+// Request-ID middleware: a sane client ID is honoured and echoed, a
+// hostile one is replaced, and responses always carry some ID.
+func TestRequestIDMiddleware(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	req, err := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(RequestIDHeader, "client-id_42.x")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, resp)
+	if got := resp.Header.Get(RequestIDHeader); got != "client-id_42.x" {
+		t.Errorf("sane client ID not echoed: %q", got)
+	}
+
+	req.Header.Set(RequestIDHeader, "evil\"id=with;junk"+strings.Repeat("x", 100))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, resp2)
+	got := resp2.Header.Get(RequestIDHeader)
+	if got == "" || strings.ContainsAny(got, "\"=;") {
+		t.Errorf("hostile client ID not replaced: %q", got)
+	}
+
+	resp3, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, resp3)
+	if resp3.Header.Get(RequestIDHeader) == "" {
+		t.Error("response without request ID")
+	}
+}
+
+// The manifest a miss produces carries the submitter's request ID and
+// complete phase spans; the byte-identical cached copy serves the
+// filler's annotations to later hits.
+func TestManifestCarriesRequestIDAndPhases(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs?wait=1",
+		strings.NewReader(`{"apps":["sje","lib"],"seed":73,"instructions":30000,"warmup":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(RequestIDHeader, "filler-req")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	m, err := service.DecodeManifest(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RequestID != "filler-req" {
+		t.Errorf("manifest request ID %q, want filler-req", m.RequestID)
+	}
+	if m.Phases == nil {
+		t.Fatal("manifest has no phase spans")
+	}
+	if m.Phases.SimulateSeconds <= 0 || m.Phases.EncodeSeconds <= 0 {
+		t.Errorf("implausible phase spans: %+v", m.Phases)
+	}
+	if m.Phases.AdmissionWaitSeconds < 0 || m.Phases.CacheLookupSeconds < 0 {
+		t.Errorf("implausible wait/lookup spans: %+v", m.Phases)
+	}
+
+	// The hit serves the filler's annotations verbatim.
+	r2, err := http.Post(ts.URL+"/v1/jobs?wait=1", "application/json",
+		strings.NewReader(`{"apps":["sje","lib"],"seed":73,"instructions":30000,"warmup":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := readBody(t, r2)
+	if r2.Header.Get(ResultHeader) != "hit" {
+		t.Fatalf("second submit verdict %q", r2.Header.Get(ResultHeader))
+	}
+	m2, err := service.DecodeManifest(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.RequestID != "filler-req" {
+		t.Errorf("cached manifest request ID %q, want the filler's", m2.RequestID)
+	}
+}
+
+// Submissions rejected by admission must surface in the rejection
+// counter, and a rate-gated daemon exposes its token state.
+func TestMetricsRejectionCounter(t *testing.T) {
+	// A near-empty rate gate: one token, refilling so slowly the test
+	// never sees a second one.
+	adm := queue.NewAdmission(4, queue.NewTokenBucket(0.001, 1, nil))
+	_, ts := newTestServer(t, Config{Admission: adm, Workers: 1})
+
+	r1 := submit(t, ts, smallSpec(74), false)
+	readBody(t, r1)
+	r2 := submit(t, ts, smallSpec(75), false)
+	readBody(t, r2)
+	if r2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit: %d, want 429", r2.StatusCode)
+	}
+	// Wait for the admitted job to finish so counters settle.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r := submit(t, ts, smallSpec(74), false)
+		readBody(t, r)
+		if r.Header.Get(ResultHeader) == "hit" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("admitted job never completed")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	samples, _ := scrapeStrict(t, ts.URL)
+	if s := find(t, samples, "tlacached_admission_rejections_total", nil); s.value < 1 {
+		t.Errorf("rejections_total = %v, want >= 1", s.value)
+	}
+	if s := find(t, samples, "tlacached_admission_burst", nil); s.value != 1 {
+		t.Errorf("burst gauge = %v, want 1", s.value)
+	}
+}

@@ -1,0 +1,124 @@
+// Request observability middleware: every request gets an ID (the
+// client's X-Request-Id when it sends a sane one, a fresh random ID
+// otherwise), echoed on the response, propagated through the context
+// into job registration — and from there into manifests and event
+// streams — and logged with method, path, status, size, duration, and
+// the cache verdict when one was set.
+package api
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// RequestIDHeader carries the request ID on requests and responses.
+const RequestIDHeader = "X-Request-Id"
+
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// requestIDFrom returns the request ID the middleware stored, or "".
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// newRequestID mints a 16-hex-char random ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is not worth failing a request over; a
+		// fixed ID still correlates response headers with log lines.
+		return "00000000c0ffee00"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sanitizeRequestID accepts a client-supplied ID only when it is
+// short and plain (letters, digits, dot, dash, underscore), so hostile
+// headers cannot inject log records or header tricks.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		switch c := id[i]; {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '-', c == '_':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// statusWriter records the response status and size for the request
+// log. It deliberately implements http.Flusher by delegation:
+// newEventWriter type-asserts the ResponseWriter to http.Flusher, so
+// a wrapper that hid Flush would silently break event streaming.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+func (sw *statusWriter) Flush() {
+	if fl, ok := sw.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// withObservability wraps the route table with request-ID assignment
+// and structured request logging (skipped when no logger is set).
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rid := sanitizeRequestID(r.Header.Get(RequestIDHeader))
+		if rid == "" {
+			rid = newRequestID()
+		}
+		w.Header().Set(RequestIDHeader, rid)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), requestIDKey, rid)))
+		if s.log == nil {
+			return
+		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		attrs := []any{
+			slog.String("request_id", rid),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Int64("bytes", sw.bytes),
+			slog.Float64("duration_ms", float64(time.Since(start).Microseconds())/1e3),
+		}
+		if v := sw.Header().Get(ResultHeader); v != "" {
+			attrs = append(attrs, slog.String("result", v))
+		}
+		s.log.Info("request", attrs...)
+	})
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
@@ -61,6 +62,9 @@ type Config struct {
 	Workers int
 	// Version is reported by /v1/stats.
 	Version string
+	// Logger receives one structured record per request; nil disables
+	// request logging (metrics and request IDs stay on).
+	Logger *slog.Logger
 }
 
 // Server implements the daemon's HTTP API. Build with New.
@@ -70,6 +74,8 @@ type Server struct {
 	flight  cache.Group
 	sem     chan struct{}
 	version string
+	log     *slog.Logger
+	metrics *metrics
 	wg      sync.WaitGroup
 
 	mu       sync.Mutex
@@ -97,11 +103,14 @@ func New(cfg Config) (*Server, error) {
 		adm:     cfg.Admission,
 		sem:     make(chan struct{}, cfg.Workers),
 		version: cfg.Version,
+		log:     cfg.Logger,
+		metrics: newMetrics(),
 		jobs:    make(map[string]*Job),
 	}, nil
 }
 
-// Handler returns the daemon's route table.
+// Handler returns the daemon's route table, wrapped in the request-ID
+// and logging middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -110,42 +119,60 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{key}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	return mux
+	return s.withObservability(mux)
 }
 
-// Event is one entry in a job's event stream.
+// Event is one entry in a job's event stream. RequestID names the
+// submission that created the job, so a subscriber can correlate the
+// stream with daemon logs and the eventual manifest.
 type Event struct {
-	Type   string            `json:"type"` // "state", "sample", "done", "error"
-	Key    string            `json:"key,omitempty"`
-	State  string            `json:"state,omitempty"`
-	Sample *telemetry.Sample `json:"sample,omitempty"`
-	Error  string            `json:"error,omitempty"`
+	Type      string            `json:"type"` // "state", "sample", "done", "error"
+	Key       string            `json:"key,omitempty"`
+	RequestID string            `json:"request_id,omitempty"`
+	State     string            `json:"state,omitempty"`
+	Sample    *telemetry.Sample `json:"sample,omitempty"`
+	Error     string            `json:"error,omitempty"`
 }
 
 // Job tracks one in-flight simulation. Its identity is the cache key
 // of its spec; completed jobs leave the registry (their result lives
 // in the cache, their failure was delivered to every waiter).
 type Job struct {
-	Key  string
-	Spec service.JobSpec
-	done chan struct{}
+	Key string
+	// RequestID is the submission that created the job (coalesced
+	// duplicates keep the originator's ID). Immutable after newJob.
+	RequestID string
+	Spec      service.JobSpec
+	queuedAt  time.Time
+	done      chan struct{}
 
 	mu     sync.Mutex
 	state  string
 	err    string
 	result []byte // set on success; lets waiters answer even if no cache tier retained it
+	spans  service.PhaseSpans
 	subs   map[chan Event]struct{}
 }
 
-func newJob(key string, spec service.JobSpec) *Job {
+func newJob(key, requestID string, spec service.JobSpec) *Job {
 	return &Job{
-		Key:   key,
-		Spec:  spec,
-		done:  make(chan struct{}),
-		state: StateQueued,
-		subs:  make(map[chan Event]struct{}),
+		Key:       key,
+		RequestID: requestID,
+		Spec:      spec,
+		queuedAt:  time.Now(),
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		subs:      make(map[chan Event]struct{}),
 	}
+}
+
+// spansSnapshot reads the phase spans recorded so far.
+func (j *Job) spansSnapshot() service.PhaseSpans {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.spans
 }
 
 // snapshot reads the job's current state and error message.
@@ -214,6 +241,9 @@ func (j *Job) unsubscribe(ch chan Event) {
 // it — a send under a held mutex is the deadlock shape the
 // lockdiscipline analyzer exists to reject.
 func (j *Job) publish(ev Event) {
+	if ev.RequestID == "" {
+		ev.RequestID = j.RequestID
+	}
 	j.mu.Lock()
 	chans := make([]chan Event, 0, len(j.subs))
 	for ch := range j.subs {
@@ -231,7 +261,10 @@ func (j *Job) publish(ev Event) {
 // submit attaches the request to an existing in-flight job (coalesced)
 // or admits and starts a new one. The admission gates run only for
 // genuinely new work — a coalesced duplicate costs no rate token.
-func (s *Server) submit(key string, spec service.JobSpec) (j *Job, coalesced bool, retry time.Duration, err error) {
+// requestID and lookupSeconds (the submission's cache-lookup span)
+// seed the new job's provenance; a coalesced request keeps the
+// originator's.
+func (s *Server) submit(key string, spec service.JobSpec, requestID string, lookupSeconds float64) (j *Job, coalesced bool, retry time.Duration, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -244,7 +277,8 @@ func (s *Server) submit(key string, spec service.JobSpec) (j *Job, coalesced boo
 	if !ok {
 		return nil, false, retry, ErrOverloaded
 	}
-	j = newJob(key, spec)
+	j = newJob(key, requestID, spec)
+	j.spans.CacheLookupSeconds = lookupSeconds
 	s.jobs[key] = j
 	s.wg.Add(1)
 	go s.run(j, release)
@@ -276,6 +310,9 @@ func (s *Server) run(j *Job, release func()) {
 	defer release()
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
+	j.mu.Lock()
+	j.spans.AdmissionWaitSeconds = time.Since(j.queuedAt).Seconds()
+	j.mu.Unlock()
 
 	j.setState(StateRunning)
 	data, _, err := s.cache.GetOrCompute(&s.flight, j.Key, func() ([]byte, error) {
@@ -289,12 +326,14 @@ func (s *Server) run(j *Job, release func()) {
 	j.complete(data)
 }
 
-// executeJob runs the simulation and encodes its manifest. Interval
+// executeJob runs the simulation and encodes its manifest, annotated
+// with the request ID and the daemon's phase spans. Interval
 // telemetry streams to the job's subscribers as it is observed.
 func (s *Server) executeJob(j *Job) ([]byte, error) {
 	sink := func(sm telemetry.Sample) {
 		j.publish(Event{Type: "sample", Key: j.Key, Sample: &sm})
 	}
+	simStart := time.Now()
 	res, err := runner.Run(context.Background(), runner.Config{Workers: 1},
 		[]runner.Job[service.Manifest]{{
 			Name: j.Key,
@@ -309,7 +348,22 @@ func (s *Server) executeJob(j *Job) ([]byte, error) {
 	if res[0].Err != nil {
 		return nil, res[0].Err
 	}
-	return service.EncodeManifest(res[0].Value)
+	spans := j.spansSnapshot()
+	spans.SimulateSeconds = time.Since(simStart).Seconds()
+
+	// Measure a first encode of the full manifest, then encode again
+	// with the spans embedded — the second pass differs only in the
+	// phase numbers, so the measured cost is representative.
+	m := res[0].Value
+	m.RequestID = j.RequestID
+	encStart := time.Now()
+	if _, err := service.EncodeManifest(m); err != nil {
+		return nil, err
+	}
+	spans.EncodeSeconds = time.Since(encStart).Seconds()
+	m.Phases = &spans
+	s.metrics.observePhases(spans)
+	return service.EncodeManifest(m)
 }
 
 // Drain stops admitting work and waits for in-flight jobs to finish,
@@ -368,6 +422,7 @@ func retrySeconds(d time.Duration) string {
 // hit, else coalesce or admit. `?wait=1` blocks until the manifest is
 // ready; the default returns 202 with the job's status.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	var spec service.JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -381,13 +436,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if data, ok := s.cache.Get(key); ok {
+	lookupStart := time.Now()
+	data, ok := s.cache.Get(key)
+	lookupSeconds := time.Since(lookupStart).Seconds()
+	if ok {
 		w.Header().Set(ResultHeader, "hit")
+		s.metrics.observeJob("hit", time.Since(start))
 		serveManifest(w, data)
 		return
 	}
 
-	j, coalesced, retry, err := s.submit(key, norm)
+	j, coalesced, retry, err := s.submit(key, norm, requestIDFrom(r.Context()), lookupSeconds)
 	switch {
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", retrySeconds(5*time.Second))
@@ -406,6 +465,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		verdict = "coalesced"
 	}
 	w.Header().Set(ResultHeader, verdict)
+	defer func() { s.metrics.observeJob(verdict, time.Since(start)) }()
 
 	if q := r.URL.Query().Get("wait"); q == "" || q == "0" {
 		state, _ := j.snapshot()
@@ -422,7 +482,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "simulation failed: "+errMsg, http.StatusInternalServerError)
 		return
 	}
-	data, ok := s.cache.Get(key)
+	data, ok = s.cache.Get(key)
 	if !ok {
 		// No cache tier retained the result (disk write failed, memory
 		// entry evicted); the completed job still pins it.
@@ -490,17 +550,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 // handleStats is GET /v1/stats.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	active := len(s.jobs)
-	draining := s.draining
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, struct {
-		Version    string      `json:"version,omitempty"`
-		Cache      cache.Stats `json:"cache"`
-		Admission  queue.Stats `json:"admission"`
-		ActiveJobs int         `json:"active_jobs"`
-		Draining   bool        `json:"draining"`
-	}{s.version, s.cache.Stats(), s.adm.Stats(), active, draining})
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
 }
 
 // handleWorkloads is GET /v1/workloads: the submittable vocabulary.

@@ -451,7 +451,7 @@ func TestStatsAndWorkloads(t *testing.T) {
 // subscribers are dropped rather than blocking, terminal events close
 // the stream.
 func TestJobPubSub(t *testing.T) {
-	j := newJob("v1:k", service.JobSpec{})
+	j := newJob("v1:k", "req-1", service.JobSpec{})
 	ch := j.subscribe()
 	j.setState(StateRunning)
 	select {
@@ -564,7 +564,7 @@ func TestFailedJobNotCached(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
 	// No way to make a valid spec fail deterministically through the
 	// HTTP layer, so drive the internals: a job whose compute errors.
-	j, coalesced, _, err := s.submit("v1:boom", service.JobSpec{})
+	j, coalesced, _, err := s.submit("v1:boom", service.JobSpec{}, "req-boom", 0)
 	if err != nil || coalesced {
 		t.Fatalf("submit: %v coalesced=%v", err, coalesced)
 	}

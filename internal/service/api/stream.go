@@ -96,7 +96,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	state, errMsg := j.snapshot()
-	if err := ew.write(Event{Type: "state", Key: key, State: state, Error: errMsg}); err != nil {
+	if err := ew.write(Event{Type: "state", Key: key, RequestID: j.RequestID, State: state, Error: errMsg}); err != nil {
 		return
 	}
 	for {
@@ -127,7 +127,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				break
 			}
 			state, errMsg := j.snapshot()
-			ew.write(terminalEvent(key, state, errMsg)) //nolint:errcheck // stream ends here
+			term := terminalEvent(key, state, errMsg)
+			term.RequestID = j.RequestID
+			ew.write(term) //nolint:errcheck // stream ends here
 			return
 		case <-r.Context().Done():
 			return

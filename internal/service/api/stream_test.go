@@ -1,0 +1,142 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"tlacache/internal/service"
+)
+
+// testKey mints a syntactically valid content address for tests that
+// register jobs directly in the server's registry.
+func testKey(t *testing.T, seed uint64) string {
+	t.Helper()
+	_, key, err := service.SpecKey(smallSpec(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+// The drop contract on the publish side: a subscriber that stops
+// draining receives exactly its buffer's worth of events, every
+// further publish is dropped rather than blocking the simulation
+// goroutine, and the delivered events carry the job's request ID.
+func TestPublishDropsWhenSubscriberStalls(t *testing.T) {
+	j := newJob("v1:k", "req-stall", service.JobSpec{})
+	ch := j.subscribe()
+	bufCap := cap(ch)
+
+	// Publish far past the buffer. publish is non-blocking by
+	// construction; if that regressed this loop would hang and the
+	// test would time out, which is the failure we want visible.
+	const published = 500
+	start := time.Now()
+	for i := 0; i < published; i++ {
+		j.publish(Event{Type: "sample", Key: j.Key})
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("publishing %d events took %v; publish is blocking on a stalled subscriber", published, elapsed)
+	}
+
+	if got := len(ch); got != bufCap {
+		t.Fatalf("stalled subscriber holds %d events, want exactly its buffer %d", got, bufCap)
+	}
+	// Completion must also go through (terminal publish dropped, done
+	// closed regardless).
+	j.complete([]byte("{}"))
+	select {
+	case <-j.done:
+	default:
+		t.Fatal("complete did not close done despite a stalled subscriber")
+	}
+	for i := 0; i < bufCap; i++ {
+		ev := <-ch
+		if ev.RequestID != "req-stall" {
+			t.Fatalf("delivered event %d missing request ID: %+v", i, ev)
+		}
+	}
+}
+
+// After drops, a subscriber that reconnects must still see a
+// well-formed finite stream: the current state first, then a terminal
+// event — in both NDJSON and SSE framings. The dropped samples are
+// gone (that is the contract), but the stream never wedges or ends
+// without a terminal frame.
+func TestEventsStreamFiniteAfterDrops(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	key := testKey(t, 91)
+	j := newJob(key, "req-finite", service.JobSpec{})
+	s.mu.Lock()
+	s.jobs[key] = j
+	s.mu.Unlock()
+	t.Cleanup(func() { s.removeJob(j) })
+
+	// Overflow every future subscriber's view of history, then finish.
+	for i := 0; i < 300; i++ {
+		j.publish(Event{Type: "sample", Key: key})
+	}
+	j.complete([]byte("{}"))
+
+	// NDJSON framing: every line is a valid Event, the last is
+	// terminal, and each carries the originating request ID.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + key + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty event stream")
+	}
+	if first := events[0]; first.Type != "state" || first.State != StateDone {
+		t.Errorf("stream opens with %+v, want current state", first)
+	}
+	if last := events[len(events)-1]; last.Type != "done" {
+		t.Errorf("stream ends with %+v, want terminal done", last)
+	}
+	for i, ev := range events {
+		if ev.RequestID != "req-finite" {
+			t.Errorf("event %d missing request ID: %+v", i, ev)
+		}
+	}
+
+	// SSE framing of the same finished job.
+	req, err := http.NewRequest("GET", ts.URL+"/v1/jobs/"+key+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	sr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Body.Close()
+	var sse bytes.Buffer
+	if _, err := sse.ReadFrom(sr.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := sse.String()
+	if !strings.Contains(body, "event: done\ndata: ") {
+		t.Errorf("SSE stream missing terminal frame: %q", body)
+	}
+	if !strings.Contains(body, `"request_id":"req-finite"`) {
+		t.Errorf("SSE frames missing request ID: %q", body)
+	}
+}

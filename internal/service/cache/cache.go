@@ -42,13 +42,14 @@ type Config struct {
 
 // Stats counts cache outcomes since process start.
 type Stats struct {
-	MemHits     int64 `json:"mem_hits"`
-	DiskHits    int64 `json:"disk_hits"`
-	Misses      int64 `json:"misses"`
-	Puts        int64 `json:"puts"`
-	PutErrors   int64 `json:"put_errors"`
-	Quarantined int64 `json:"quarantined"`
-	MemEntries  int   `json:"mem_entries"`
+	MemHits      int64 `json:"mem_hits"`
+	DiskHits     int64 `json:"disk_hits"`
+	Misses       int64 `json:"misses"`
+	Puts         int64 `json:"puts"`
+	PutErrors    int64 `json:"put_errors"`
+	Quarantined  int64 `json:"quarantined"`
+	MemEvictions int64 `json:"mem_evictions"`
+	MemEntries   int   `json:"mem_entries"`
 }
 
 // Cache is the two-tier store. It is goroutine-safe; the zero value is
@@ -162,6 +163,7 @@ func (c *Cache) memPut(key string, data []byte) {
 		back := c.lru.Back()
 		c.lru.Remove(back)
 		delete(c.index, back.Value.(*memEntry).key)
+		c.stats.MemEvictions++
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"tlacache/internal/hierarchy"
 	"tlacache/internal/prefetch"
 	"tlacache/internal/sim"
+	"tlacache/internal/telemetry"
 )
 
 // goldenKeys pins the canonical hash of known requests. If this test
@@ -65,14 +66,14 @@ func TestKeyCanonicalGolden(t *testing.T) {
 // to canonical and bump KeyVersion) or is an observer (document it in
 // the exclusion list below), then update the pinned count.
 func TestKeyCoversConfig(t *testing.T) {
-	// sim.Config exclusions: Probe, Sampler, InvariantEvery,
-	// AuditEvery — observers that cannot change results.
+	// sim.Config exclusions: Probe, Sampler, DecisionTracer,
+	// InvariantEvery, AuditEvery — observers that cannot change results.
 	for _, tc := range []struct {
 		name   string
 		typ    reflect.Type
 		fields int
 	}{
-		{"sim.Config", reflect.TypeOf(sim.Config{}), 9},
+		{"sim.Config", reflect.TypeOf(sim.Config{}), 10},
 		{"hierarchy.Config", reflect.TypeOf(hierarchy.Config{}), 29},
 		{"hierarchy.Latencies", reflect.TypeOf(hierarchy.Latencies{}), 4},
 		{"cpu.Config", reflect.TypeOf(cpu.Config{}), 3},
@@ -142,8 +143,9 @@ func TestKeyIgnoresObservers(t *testing.T) {
 	c := base
 	c.AuditEvery = 1000
 	c.InvariantEvery = 500
+	c.DecisionTracer = &telemetry.DecisionLog{}
 	if got := Key(c, apps, "baseline", 1); got != ref {
-		t.Errorf("audit/invariant observers changed the key: %s != %s", got, ref)
+		t.Errorf("audit/invariant/tracer observers changed the key: %s != %s", got, ref)
 	}
 }
 
@@ -167,15 +169,15 @@ func TestValidKey(t *testing.T) {
 	for _, bad := range []string{
 		"",
 		"v1:",
-		"v1:deadbeef",                        // too short
-		"v2:" + hex64,                        // wrong version
-		hex64,                                // no prefix
-		"v1:" + strings.Repeat("0F", 32),     // uppercase hex
-		"v1:" + strings.Repeat("0g", 32),     // non-hex
-		"v1:" + hex64 + "0",                  // too long
-		"../../etc/passwd",                   // traversal
-		"v1:../" + hex64[:len(hex64)-3],      // traversal, right length
-		"/etc/passwd",                        // absolute
+		"v1:deadbeef",                         // too short
+		"v2:" + hex64,                         // wrong version
+		hex64,                                 // no prefix
+		"v1:" + strings.Repeat("0F", 32),      // uppercase hex
+		"v1:" + strings.Repeat("0g", 32),      // non-hex
+		"v1:" + hex64 + "0",                   // too long
+		"../../etc/passwd",                    // traversal
+		"v1:../" + hex64[:len(hex64)-3],       // traversal, right length
+		"/etc/passwd",                         // absolute
 		"v1:" + hex64[:len(hex64)-1] + "\x00", // NUL
 	} {
 		if ValidKey(bad) {

@@ -62,6 +62,14 @@ func (b *TokenBucket) Take() (ok bool, retryAfter time.Duration) {
 	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
 }
 
+// Burst reports the bucket's capacity; 0 for a nil bucket.
+func (b *TokenBucket) Burst() float64 {
+	if b == nil {
+		return 0
+	}
+	return b.burst
+}
+
 // Tokens reports the current (refilled) token count, for stats.
 func (b *TokenBucket) Tokens() float64 {
 	if b == nil {
@@ -87,13 +95,17 @@ func (b *TokenBucket) Tokens() float64 {
 // runtime, a few seconds.
 const DefaultRetryAfter = time.Second
 
-// Stats counts admission outcomes.
+// Stats counts admission outcomes. Tokens and Burst expose the rate
+// gate's live state (both 0 when no bucket is configured): Burst-Tokens
+// is the current token deficit, the headroom overload monitoring wants.
 type Stats struct {
-	Admitted  int64 `json:"admitted"`
-	Rejected  int64 `json:"rejected"`
-	InFlight  int   `json:"in_flight"`
-	Limit     int   `json:"limit"`
-	RateLimit bool  `json:"rate_limited_last,omitempty"`
+	Admitted  int64   `json:"admitted"`
+	Rejected  int64   `json:"rejected"`
+	InFlight  int     `json:"in_flight"`
+	Limit     int     `json:"limit"`
+	RateLimit bool    `json:"rate_limited_last,omitempty"`
+	Tokens    float64 `json:"tokens"`
+	Burst     float64 `json:"burst"`
 }
 
 // Admission combines the two gates. It is goroutine-safe.
@@ -163,5 +175,7 @@ func (a *Admission) Stats() Stats {
 		InFlight:  a.inFlight,
 		Limit:     a.limit,
 		RateLimit: a.lastRate,
+		Tokens:    a.bucket.Tokens(),
+		Burst:     a.bucket.Burst(),
 	}
 }

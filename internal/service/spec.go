@@ -17,6 +17,7 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -74,13 +75,16 @@ type JobSpec struct {
 // therefore the same Key): Mix names resolve to their app list, the
 // empty policy becomes "baseline", zero budgets take defaults.
 func (s JobSpec) Normalize() (JobSpec, error) {
-	if s.Mix != "" && len(s.Apps) > 0 {
-		return s, fmt.Errorf("service: spec sets both mix %q and apps %v", s.Mix, s.Apps)
-	}
 	if s.Mix != "" {
 		m, err := cli.ResolveMix(s.Mix)
 		if err != nil {
 			return s, fmt.Errorf("service: %w", err)
+		}
+		// Both set is an error unless Apps is exactly the mix's app
+		// list — the shape normalisation itself produces, so Normalize
+		// stays idempotent and an already-normalized spec re-validates.
+		if len(s.Apps) > 0 && !slices.Equal(s.Apps, m.Apps) {
+			return s, fmt.Errorf("service: spec sets both mix %q and apps %v", s.Mix, s.Apps)
 		}
 		s.Apps = m.Apps
 		s.Mix = m.Name
@@ -166,6 +170,25 @@ type Manifest struct {
 	// request; they are recorded once when the entry is filled.
 	Env         runner.EnvInfo `json:"environment"`
 	WallSeconds float64        `json:"wall_seconds"`
+	// RequestID identifies the request that filled this entry (cache
+	// hits serve the filler's ID — the manifest annotates the original
+	// execution, and X-Request-Id on the response names the hit).
+	RequestID string `json:"request_id,omitempty"`
+	// Phases breaks the filling execution's wall time into daemon
+	// phases; set by the daemon, absent when Execute runs standalone.
+	Phases *PhaseSpans `json:"phases,omitempty"`
+}
+
+// PhaseSpans is the daemon-side decomposition of one executed job's
+// wall time, in seconds: how long the job waited for a worker slot,
+// how long the submission's cache lookup took, the simulation itself,
+// and manifest encoding. Like Env and WallSeconds these annotate the
+// execution that filled the cache entry, not the request being served.
+type PhaseSpans struct {
+	AdmissionWaitSeconds float64 `json:"admission_wait_seconds"`
+	CacheLookupSeconds   float64 `json:"cache_lookup_seconds"`
+	SimulateSeconds      float64 `json:"simulate_seconds"`
+	EncodeSeconds        float64 `json:"encode_seconds"`
 }
 
 // EncodeManifest renders m in the canonical stored form: indented

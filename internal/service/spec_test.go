@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -178,5 +179,23 @@ func TestMixes(t *testing.T) {
 	ms := Mixes()
 	if len(ms) != 12 || ms[0] != "MIX_00" {
 		t.Errorf("Mixes() = %v", ms)
+	}
+}
+
+// Normalize must be idempotent: Execute re-normalizes defensively, so
+// a normalized mix spec (which keeps both Mix and its resolved Apps)
+// must re-validate cleanly. Regression: mix-name submissions to the
+// daemon used to fail at execute time with "sets both mix and apps".
+func TestNormalizeIdempotent(t *testing.T) {
+	norm, err := JobSpec{Mix: "MIX_00"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := norm.Normalize()
+	if err != nil {
+		t.Fatalf("re-normalizing a normalized spec: %v", err)
+	}
+	if !reflect.DeepEqual(norm, again) {
+		t.Errorf("normalization not idempotent:\n first %+v\nsecond %+v", norm, again)
 	}
 }

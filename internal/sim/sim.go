@@ -61,6 +61,15 @@ type Config struct {
 	// execution of fast cores. A probe must not be shared between
 	// concurrent runs.
 	Probe telemetry.Probe
+	// DecisionTracer, when non-nil, receives one record per LLC victim
+	// choice (candidate ways with per-policy ranks, the chosen way, the
+	// QBS-suggested alternative, and the eviction's inclusion-victim
+	// count). Attached after the warmup counter reset like Probe, so
+	// traces cover exactly the measurement window. Like the other
+	// observer fields it never changes simulation results — the service
+	// cache key excludes it — and must not be shared between concurrent
+	// runs.
+	DecisionTracer telemetry.DecisionTracer
 	// Sampler, when non-nil, captures a per-core interval time series:
 	// every Sampler.Every() instructions a core commits inside its
 	// measurement window, the core's interval IPC, LLC MPKI,
@@ -323,6 +332,7 @@ func RunGenerators(cfg Config, streams []trace.Generator) (MixResult, error) {
 		}
 	}
 	h.SetProbe(cfg.Probe)
+	h.SetDecisionTracer(cfg.DecisionTracer)
 	sampler = cfg.Sampler
 	if cfg.AuditEvery > 0 {
 		// The auditor baselines here — right where the counters'
