@@ -3,8 +3,9 @@
 // go/types (no external dependencies) and runs checks for properties
 // the type system cannot express but the paper's results depend on:
 //
-//	nondeterminism     no time.Now / math/rand / state-mutating map
-//	                   iteration in simulation packages
+//	nondeterminism     no wall clocks (Now/Since/Until), math/rand (under
+//	                   any alias), state-mutating map iteration, or
+//	                   sync.Map iteration in simulation packages
 //	probeguard         telemetry probe calls dominated by nil checks
 //	panicmsg           package-prefixed panics, no bare panic(err)
 //	counterdiscipline  Traffic/Recorder counters only ever incremented
@@ -12,6 +13,13 @@
 //	hotpath            no heap allocation reachable from //tlavet:hotpath
 //	                   roots (interprocedural, call chains in findings)
 //	lockdiscipline     runner/telemetry mutex discipline
+//	detflow            no nondeterministic value or ordering flows into a
+//	                   //tlavet:detsink function (interprocedural taint,
+//	                   source→sink chains in findings)
+//	keycover           every field of a //tlavet:keycover'd config struct
+//	                   is encoded or carries //tlavet:keyexempt <reason>
+//	exhaustive         switches over //tlavet:exhaustive enum types name
+//	                   every constant (a default arm does not satisfy)
 //
 // Usage:
 //
@@ -19,7 +27,9 @@
 //	tlavet ./internal/...        # restrict to a subtree
 //	tlavet -checks hotpath ./...
 //	tlavet -json ./...           # findings as a JSON array on stdout
+//	tlavet -sarif ./...          # findings as SARIF 2.1.0 on stdout
 //	tlavet -out findings.json ./...  # text to stdout, JSON to a file
+//	tlavet -fail-stale-allows ./...  # unused //tlavet:allow directives fail
 //	tlavet -baseline tlavet.baseline.json ./...   # suppress accepted findings
 //	tlavet -baseline b.json -update-baseline ./...  # regenerate the baseline
 //	tlavet -baseline b.json -fail-stale ./...       # ratchet: stale entries fail
@@ -28,6 +38,10 @@
 // directive on or above the offending line:
 //
 //	//tlavet:allow <check> <reason>
+//
+// With -fail-stale-allows (the CI default), a directive that no longer
+// suppresses anything is itself reported, so the set of suppressions
+// can only shrink.
 //
 // Exit status: 0 when clean, 1 when findings were reported (or, with
 // -fail-stale, when the baseline has stale entries), 2 on usage or load
@@ -41,6 +55,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"tlacache/internal/analysis"
@@ -54,7 +69,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tlavet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log on stdout")
 	outFile := fs.String("out", "", "also write findings as JSON to this file")
+	failStaleAllows := fs.Bool("fail-stale-allows", false, "report //tlavet:allow directives that suppress nothing as findings")
 	checks := fs.String("checks", "all", "comma-separated checks to run")
 	list := fs.Bool("list", false, "list available checks and exit")
 	dir := fs.String("C", ".", "directory to locate the module from")
@@ -88,6 +105,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "tlavet: -update-baseline and -fail-stale require -baseline")
 		return 2
 	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "tlavet: -json and -sarif are mutually exclusive")
+		return 2
+	}
 
 	root, err := findModuleRoot(*dir)
 	if err != nil {
@@ -105,7 +126,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "tlavet:", err)
 		return 2
 	}
-	diags := analysis.RunModule(mod, analyzers, filter)
+	if *failStaleAllows && filter != nil {
+		fmt.Fprintln(stderr, "tlavet: -fail-stale-allows requires an unfiltered run (./...): a restricted run cannot prove a directive unused")
+		return 2
+	}
+	res := analysis.RunModuleFull(mod, analyzers, filter)
+	diags := res.Diagnostics
+	if *failStaleAllows {
+		diags = mergeSorted(diags, res.StaleAllows)
+	}
 
 	staleFailure := false
 	if *baseline != "" {
@@ -140,7 +169,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		out, err := analysis.SARIF(diags)
+		if err != nil {
+			fmt.Fprintln(stderr, "tlavet:", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(out))
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -150,7 +187,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "tlavet:", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}
@@ -162,6 +199,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// mergeSorted combines findings and stale-allow reports into one
+// position-sorted stream.
+func mergeSorted(a, b []analysis.Diagnostic) []analysis.Diagnostic {
+	out := append(append([]analysis.Diagnostic{}, a...), b...)
+	sort.Slice(out, func(i, j int) bool {
+		x, y := out[i], out[j]
+		if x.File != y.File {
+			return x.File < y.File
+		}
+		if x.Line != y.Line {
+			return x.Line < y.Line
+		}
+		if x.Col != y.Col {
+			return x.Col < y.Col
+		}
+		return x.Analyzer < y.Analyzer
+	})
+	return out
 }
 
 // findModuleRoot walks up from dir to the nearest go.mod.

@@ -200,6 +200,133 @@ func TestRunBaselineRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRunSARIF checks the -sarif rendering: a valid SARIF 2.1.0 log on
+// stdout with one result per finding and the rule table naming every
+// registered check.
+func TestRunSARIF(t *testing.T) {
+	dir := writeBadModule(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-sarif", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("decoding SARIF: %v\n%s", err, stdout.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("SARIF version %q with %d runs, want 2.1.0 with 1", log.Version, len(log.Runs))
+	}
+	r := log.Runs[0]
+	if r.Tool.Driver.Name != "tlavet" {
+		t.Errorf("driver name %q, want tlavet", r.Tool.Driver.Name)
+	}
+	if len(r.Tool.Driver.Rules) != len(analysis.Analyzers()) {
+		t.Errorf("rule table has %d rules, want %d", len(r.Tool.Driver.Rules), len(analysis.Analyzers()))
+	}
+	if len(r.Results) != 2 {
+		t.Fatalf("SARIF holds %d results, want 2", len(r.Results))
+	}
+	first := r.Results[0]
+	if first.RuleID != "panicmsg" {
+		t.Errorf("result 0 ruleId %q, want panicmsg", first.RuleID)
+	}
+	loc := first.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/widget/widget.go" || loc.Region.StartLine != 6 {
+		t.Errorf("result 0 at %s:%d, want internal/widget/widget.go:6",
+			loc.ArtifactLocation.URI, loc.Region.StartLine)
+	}
+	// -json and -sarif together is a usage error.
+	if code := run([]string{"-C", dir, "-json", "-sarif", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-json -sarif run = %d, want 2", code)
+	}
+}
+
+// TestRunFailStaleAllows drives the stale-suppression detector: an
+// allow directive that suppresses a real finding is fine, and once the
+// finding is gone the directive itself becomes the finding.
+func TestRunFailStaleAllows(t *testing.T) {
+	dir := writeBadModule(t)
+	widget := filepath.Join(dir, "internal", "widget", "widget.go")
+	suppressed := `package widget
+
+// Explode re-throws a bare error, with both findings suppressed.
+func Explode(err error) {
+	if err != nil {
+		//tlavet:allow panicmsg wrapping adds nothing here
+		panic(err)
+	}
+	//tlavet:allow panicmsg prefix is implied by the only caller
+	panic("no prefix here")
+}
+`
+	if err := os.WriteFile(widget, []byte(suppressed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-fail-stale-allows", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("suppressed run = %d, want 0 (stdout: %s stderr: %s)", code, stdout.String(), stderr.String())
+	}
+
+	// Fix the panics: the directives now suppress nothing and must be
+	// reported as stale.
+	fixed := `package widget
+
+// Explode is now beyond reproach.
+func Explode(err error) {
+	if err != nil {
+		//tlavet:allow panicmsg wrapping adds nothing here
+		panic("widget: " + err.Error())
+	}
+}
+`
+	if err := os.WriteFile(widget, []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-fail-stale-allows", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("stale run = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "stale //tlavet:allow panicmsg") {
+		t.Errorf("stdout %q does not report the stale directive", stdout.String())
+	}
+	// Without the flag the stale directive is tolerated.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run without -fail-stale-allows = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	// A filtered run cannot prove a directive unused: usage error.
+	if code := run([]string{"-C", dir, "-fail-stale-allows", "./internal/widget"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("filtered -fail-stale-allows run = %d, want 2", code)
+	}
+}
+
 // TestRunBaselineFlagValidation pins the usage errors of the baseline
 // flag family.
 func TestRunBaselineFlagValidation(t *testing.T) {

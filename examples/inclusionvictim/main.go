@@ -85,7 +85,10 @@ func level(l hierarchy.Level) string {
 		return "L2"
 	case hierarchy.LevelLLC:
 		return "LLC"
-	default:
+	case hierarchy.LevelVictimCache:
+		return "victim"
+	case hierarchy.LevelMemory:
 		return "memory"
 	}
+	return "memory"
 }

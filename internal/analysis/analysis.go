@@ -140,13 +140,22 @@ func report(fset *token.FileSet, root, analyzer string, allows allowIndex,
 	})
 }
 
-// allowIndex maps file → line → the check names a `//tlavet:allow`
-// directive suppresses there. A directive written on its own line
-// suppresses the line below it; a trailing directive suppresses its own
-// line. Directives must carry a reason (`//tlavet:allow <check>
-// <reason>`); a reasonless directive suppresses nothing, so suppressions
-// stay auditable.
-type allowIndex map[string]map[int][]string
+// allowEntry is one well-formed `//tlavet:allow` directive. used is set
+// when the directive actually suppresses a diagnostic, so unused
+// directives can be reported as stale and the suppression set can only
+// ever shrink.
+type allowEntry struct {
+	check string
+	used  bool
+}
+
+// allowIndex maps file → line → the directives a `//tlavet:allow`
+// comment places there. A directive written on its own line suppresses
+// the line below it; a trailing directive suppresses its own line.
+// Directives must carry a reason (`//tlavet:allow <check> <reason>`); a
+// reasonless directive suppresses nothing, so suppressions stay
+// auditable.
+type allowIndex map[string]map[int][]*allowEntry
 
 func (ai allowIndex) allowed(check, file string, line int) bool {
 	byLine := ai[file]
@@ -154,8 +163,9 @@ func (ai allowIndex) allowed(check, file string, line int) bool {
 		return false
 	}
 	for _, l := range [2]int{line, line - 1} {
-		for _, name := range byLine[l] {
-			if name == check {
+		for _, e := range byLine[l] {
+			if e.check == check {
+				e.used = true
 				return true
 			}
 		}
@@ -180,14 +190,46 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 				position := fset.Position(c.Pos())
 				byLine := ai[position.Filename]
 				if byLine == nil {
-					byLine = make(map[int][]string)
+					byLine = make(map[int][]*allowEntry)
 					ai[position.Filename] = byLine
 				}
-				byLine[position.Line] = append(byLine[position.Line], fields[0])
+				byLine[position.Line] = append(byLine[position.Line], &allowEntry{check: fields[0]})
 			}
 		}
 	}
 	return ai
+}
+
+// stale returns a diagnostic for every directive that suppressed
+// nothing during the run and names one of the selected checks (a
+// directive for a check that did not run is not evidence of anything).
+// root relativises file paths like report does.
+func (ai allowIndex) stale(root string, selected map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for file, byLine := range ai {
+		rel := file
+		if root != "" {
+			if r, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(r, "..") {
+				rel = r
+			}
+		}
+		for line, entries := range byLine {
+			for _, e := range entries {
+				if e.used || !selected[e.check] {
+					continue
+				}
+				out = append(out, Diagnostic{
+					File:       rel,
+					Line:       line,
+					Analyzer:   e.check,
+					Message:    "stale //tlavet:allow " + e.check + ": no diagnostic is suppressed here",
+					Suggestion: "delete the directive; suppressions may only shrink",
+				})
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out
 }
 
 // TypeOf returns the static type of e, or nil when unknown.
@@ -216,6 +258,9 @@ func Analyzers() []*Analyzer {
 		FloatCmpAnalyzer,
 		HotPathAnalyzer,
 		LockDisciplineAnalyzer,
+		DetflowAnalyzer,
+		KeycoverAnalyzer,
+		ExhaustiveAnalyzer,
 	}
 }
 
@@ -271,14 +316,38 @@ func RunPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, root s
 	return diags
 }
 
+// ModuleResult is the outcome of a full module run: the findings, and
+// the `//tlavet:allow` directives that suppressed none of them.
+type ModuleResult struct {
+	Diagnostics []Diagnostic
+	// StaleAllows lists directives for selected checks that suppressed
+	// nothing. Only computed for unfiltered runs (a pattern-restricted
+	// run does not evaluate every package, so an unused directive there
+	// proves nothing).
+	StaleAllows []Diagnostic
+}
+
 // RunModule runs the given analyzers over every package of m whose
+// import path is accepted by filter (nil accepts all), returning just
+// the findings. See RunModuleFull for stale-suppression tracking.
+func RunModule(m *Module, analyzers []*Analyzer, filter func(pkgPath string) bool) []Diagnostic {
+	return RunModuleFull(m, analyzers, filter).Diagnostics
+}
+
+// RunModuleFull runs the given analyzers over every package of m whose
 // import path is accepted by filter (nil accepts all). Per-package
 // analyzers run once per accepted package; interprocedural analyzers
 // run once over the whole module — their call graphs must see every
 // package regardless of the filter — when at least one package is
-// accepted.
-func RunModule(m *Module, analyzers []*Analyzer, filter func(pkgPath string) bool) []Diagnostic {
+// accepted. All passes share one allow index so that, for unfiltered
+// runs, directives that suppressed nothing can be reported as stale.
+func RunModuleFull(m *Module, analyzers []*Analyzer, filter func(pkgPath string) bool) ModuleResult {
 	var diags []Diagnostic
+	var files []*ast.File
+	for _, pkg := range m.Pkgs {
+		files = append(files, pkg.Files...)
+	}
+	allows := buildAllowIndex(m.Fset, files)
 	anyAccepted := false
 	for _, pkg := range m.Pkgs {
 		if filter != nil && !filter(pkg.Path) {
@@ -289,19 +358,27 @@ func RunModule(m *Module, analyzers []*Analyzer, filter func(pkgPath string) boo
 			if a.Interprocedural() {
 				continue
 			}
-			pass := &Pass{Analyzer: a, Fset: m.Fset, Pkg: pkg, Root: m.Root, diags: &diags}
+			pass := &Pass{Analyzer: a, Fset: m.Fset, Pkg: pkg, Root: m.Root, diags: &diags, allows: allows}
 			a.Run(pass)
 		}
 	}
 	if anyAccepted {
 		for _, a := range analyzers {
 			if a.Interprocedural() {
-				a.RunModule(&ModulePass{Analyzer: a, Fset: m.Fset, Module: m, Root: m.Root, diags: &diags})
+				a.RunModule(&ModulePass{Analyzer: a, Fset: m.Fset, Module: m, Root: m.Root, diags: &diags, allows: allows})
 			}
 		}
 	}
 	sortDiagnostics(diags)
-	return diags
+	res := ModuleResult{Diagnostics: diags}
+	if filter == nil {
+		selected := make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			selected[a.Name] = true
+		}
+		res.StaleAllows = allows.stale(m.Root, selected)
+	}
+	return res
 }
 
 func sortDiagnostics(diags []Diagnostic) {

@@ -21,6 +21,9 @@ var fixtureCases = []struct {
 	{FloatCmpAnalyzer, "floatcmp", "tlacache/internal/metrics"},
 	{HotPathAnalyzer, "hotpath", "tlacache/internal/hotpath"},
 	{LockDisciplineAnalyzer, "lockdiscipline", "tlacache/internal/runner"},
+	{DetflowAnalyzer, "detflow", "tlacache/internal/detflow"},
+	{KeycoverAnalyzer, "keycover", "tlacache/internal/keycover"},
+	{ExhaustiveAnalyzer, "exhaustive", "tlacache/internal/exhaustive"},
 }
 
 // TestGoldenFixtures checks every analyzer against its fixture: each
@@ -129,6 +132,33 @@ func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
 			if re != nil {
 				t.Errorf("%s:%d: no diagnostic matching `%s`", key.file, key.line, re)
 			}
+		}
+	}
+}
+
+// TestDetflowCallGraphEdges proves sink-reachability survives the
+// indirection shapes the simulator uses: generic instantiations,
+// method values, and closures passed as arguments. The wants pin the
+// exact function→sink chains, and every finding must carry a non-empty
+// chain ending at an annotated sink.
+func TestDetflowCallGraphEdges(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "detflowgraph"), "tlacache/internal/detflowgraph")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := RunPackage(pkg.Fset, pkg, []*Analyzer{DetflowAnalyzer}, "")
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	checkWants(t, pkg, diags)
+	for _, d := range diags {
+		if len(d.Chain) < 2 {
+			t.Errorf("%s: chain %v does not cross a call edge", d, d.Chain)
+			continue
+		}
+		last := d.Chain[len(d.Chain)-1]
+		if last != "detflowgraph.sink" && last != "detflowgraph.writer.write" {
+			t.Errorf("%s: chain %v does not end at an annotated sink", d, d.Chain)
 		}
 	}
 }

@@ -32,7 +32,15 @@ import (
 // Calls through function-typed variables other than literals (stored
 // callbacks) are not resolved; the simulator's hot path has none, and
 // the escape scanner independently flags closure creation on hot paths
-// so a callback cannot silently smuggle an allocation in.
+// so a callback cannot silently smuggle an allocation in. To keep that
+// gap from hiding hand-offs, a REFERENCE edge is added whenever a
+// function or method name is mentioned in non-call position (a method
+// value stored in a variable, a function passed as an argument, a
+// generic function instantiated for later use): if F references G, G is
+// treated as callable wherever F runs. Reference-only targets are also
+// recorded per node (cgNode.refs) so detflow can attribute dynamic
+// calls inside nondeterministic regions to the functions the enclosing
+// body actually took a reference to.
 
 // callSite is one resolved call edge.
 type callSite struct {
@@ -46,6 +54,11 @@ type cgNode struct {
 	decl  *ast.FuncDecl
 	pkg   *Package
 	calls []callSite
+	// refs lists module functions referenced in non-call position within
+	// this body (method values, callback arguments, instantiations), in
+	// source order. Each ref also appears in calls as a conservative
+	// edge.
+	refs []*types.Func
 }
 
 // callGraph is the module-wide call graph, keyed by the canonical
@@ -120,25 +133,97 @@ func (g *callGraph) collectNamedTypes() {
 }
 
 // resolveCalls walks n's body (function literals included) and records
-// every call edge it can resolve.
+// every call edge it can resolve, plus a reference edge for every
+// function or method name used in non-call position.
 func (g *callGraph) resolveCalls(n *cgNode) {
+	// handled marks expressions already consumed as the Fun of a call or
+	// as part of a processed selector, so the reference pass below does
+	// not double-count them (a duplicate edge would be harmless, but the
+	// refs list feeds diagnostics and should reflect true references).
+	handled := make(map[ast.Node]bool)
 	ast.Inspect(n.decl, func(node ast.Node) bool {
-		call, ok := node.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		for _, callee := range g.callees(n.pkg, call) {
-			n.calls = append(n.calls, callSite{callee: callee, pos: call.Pos()})
+		switch node := node.(type) {
+		case *ast.CallExpr:
+			for _, callee := range g.callees(n.pkg, node) {
+				n.calls = append(n.calls, callSite{callee: callee, pos: node.Pos()})
+			}
+			fun := ast.Unparen(node.Fun)
+			handled[fun] = true
+			// An instantiation in call position (Map[int](x)) wraps the
+			// name in an index expression; the name itself is handled.
+			if ix, ok := fun.(*ast.IndexExpr); ok {
+				handled[ast.Unparen(ix.X)] = true
+			}
+			if ix, ok := fun.(*ast.IndexListExpr); ok {
+				handled[ast.Unparen(ix.X)] = true
+			}
+		case *ast.SelectorExpr:
+			if handled[node] {
+				handled[node.Sel] = true
+				return true
+			}
+			handled[node.Sel] = true
+			for _, fn := range g.refTargets(n.pkg, node) {
+				n.calls = append(n.calls, callSite{callee: fn, pos: node.Pos()})
+				n.refs = append(n.refs, fn)
+			}
+		case *ast.Ident:
+			if handled[node] {
+				return true
+			}
+			if fn, ok := n.pkg.Info.Uses[node].(*types.Func); ok {
+				// Only module-declared functions matter; stdlib references
+				// have no node and would be dropped by reachability anyway.
+				c := canonical(fn)
+				if _, declared := g.nodes[c]; declared {
+					n.calls = append(n.calls, callSite{callee: c, pos: node.Pos()})
+					n.refs = append(n.refs, c)
+				}
+			}
 		}
 		return true
 	})
+}
+
+// refTargets resolves a non-call use of a method or package-qualified
+// function name: a method value (w.Decision), a method expression
+// (T.Method), or a function mentioned as a value (pkg.Fn). Interface
+// method values fan out to every implementing module type, mirroring
+// callees.
+func (g *callGraph) refTargets(pkg *Package, sel *ast.SelectorExpr) []*types.Func {
+	if s, ok := pkg.Info.Selections[sel]; ok {
+		if s.Kind() != types.MethodVal && s.Kind() != types.MethodExpr {
+			return nil
+		}
+		m := s.Obj().(*types.Func)
+		if iface, ok := s.Recv().Underlying().(*types.Interface); ok {
+			return g.implementers(iface, m.Name())
+		}
+		return []*types.Func{canonical(m)}
+	}
+	if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok {
+		c := canonical(fn)
+		if _, declared := g.nodes[c]; declared {
+			return []*types.Func{c}
+		}
+	}
+	return nil
 }
 
 // callees resolves one call expression to the module functions it may
 // invoke (empty for builtins, conversions, stdlib calls, and dynamic
 // calls through function values).
 func (g *callGraph) callees(pkg *Package, call *ast.CallExpr) []*types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
+	fn := ast.Unparen(call.Fun)
+	// An explicitly instantiated generic call (apply[int](x)) wraps the
+	// function name in an index expression; resolve the name itself.
+	switch ix := fn.(type) {
+	case *ast.IndexExpr:
+		fn = ast.Unparen(ix.X)
+	case *ast.IndexListExpr:
+		fn = ast.Unparen(ix.X)
+	}
+	switch fun := fn.(type) {
 	case *ast.Ident:
 		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
 			return []*types.Func{canonical(fn)}
@@ -255,43 +340,48 @@ func sortNodes(ns []*cgNode) {
 	})
 }
 
-// directiveHotPath is the annotation marking a zero-allocation root.
-const directiveHotPath = "//tlavet:hotpath"
+// directiveHotPath is the annotation marking a zero-allocation root;
+// directiveDetSink marks a deterministic-output sink (a function whose
+// output bytes are part of the byte-determinism contract).
+const (
+	directiveHotPath = "//tlavet:hotpath"
+	directiveDetSink = "//tlavet:detsink"
+)
 
-// hasHotPathDirective reports whether a comment group carries the
-// hot-path root annotation.
-func hasHotPathDirective(doc *ast.CommentGroup) bool {
+// hasDirective reports whether a comment group carries the given
+// bare annotation on a line of its own.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
 	if doc == nil {
 		return false
 	}
 	for _, c := range doc.List {
-		if strings.TrimSpace(c.Text) == directiveHotPath {
+		if strings.TrimSpace(c.Text) == directive {
 			return true
 		}
 	}
 	return false
 }
 
-// hotPathRoots collects the module's annotated roots: function
-// declarations whose doc comment contains `//tlavet:hotpath`, plus —
-// for annotated interface methods — every module method that implements
-// the annotated interface (the paper-facing case: annotating
+// annotatedRoots collects the module's functions annotated with the
+// given directive: function declarations whose doc comment contains it,
+// plus — for annotated interface methods — every module method that
+// implements the annotated interface (the paper-facing case: annotating
 // replacement.Policy's Touch ropes in every concrete policy's Touch).
-func (g *callGraph) hotPathRoots() []*types.Func {
+func (g *callGraph) annotatedRoots(directive string) []*types.Func {
 	var roots []*types.Func
 	for _, pkg := range g.module.Pkgs {
 		for _, f := range pkg.Files {
 			for _, d := range f.Decls {
 				switch d := d.(type) {
 				case *ast.FuncDecl:
-					if !hasHotPathDirective(d.Doc) {
+					if !hasDirective(d.Doc, directive) {
 						continue
 					}
 					if fn, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
 						roots = append(roots, canonical(fn))
 					}
 				case *ast.GenDecl:
-					roots = append(roots, g.interfaceRoots(pkg, d)...)
+					roots = append(roots, g.interfaceRoots(pkg, d, directive)...)
 				}
 			}
 		}
@@ -306,9 +396,14 @@ func (g *callGraph) hotPathRoots() []*types.Func {
 	return roots
 }
 
-// interfaceRoots expands `//tlavet:hotpath` annotations on interface
-// method declarations into the concrete implementing methods.
-func (g *callGraph) interfaceRoots(pkg *Package, d *ast.GenDecl) []*types.Func {
+// hotPathRoots collects the module's `//tlavet:hotpath` roots.
+func (g *callGraph) hotPathRoots() []*types.Func {
+	return g.annotatedRoots(directiveHotPath)
+}
+
+// interfaceRoots expands directive annotations on interface method
+// declarations into the concrete implementing methods.
+func (g *callGraph) interfaceRoots(pkg *Package, d *ast.GenDecl, directive string) []*types.Func {
 	var roots []*types.Func
 	for _, spec := range d.Specs {
 		ts, ok := spec.(*ast.TypeSpec)
@@ -328,13 +423,70 @@ func (g *callGraph) interfaceRoots(pkg *Package, d *ast.GenDecl) []*types.Func {
 			continue
 		}
 		for _, field := range it.Methods.List {
-			if !hasHotPathDirective(field.Doc) || len(field.Names) == 0 {
+			if !hasDirective(field.Doc, directive) || len(field.Names) == 0 {
 				continue
 			}
 			roots = append(roots, g.implementers(iface, field.Names[0].Name)...)
 		}
 	}
 	return roots
+}
+
+// chainsToSinks runs a reverse multi-source BFS from sinks and returns,
+// for every function that can reach one, the shortest function→sink
+// call path (function first, sink last, rendered with displayName).
+// This is reachableFrom run against the transposed graph: where the
+// hot-path check asks "what can a root reach", the taint check asks
+// "what can reach a sink".
+func (g *callGraph) chainsToSinks(sinks []*types.Func) map[*cgNode][]string {
+	// Transpose: callee → callers, caller lists sorted for determinism.
+	callers := make(map[*cgNode][]*cgNode)
+	nodes := make([]*cgNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		nodes = append(nodes, n)
+	}
+	sortNodes(nodes)
+	for _, n := range nodes {
+		seenCallee := make(map[*cgNode]bool)
+		for _, cs := range n.calls {
+			cn := g.nodes[cs.callee]
+			if cn == nil || seenCallee[cn] {
+				continue
+			}
+			seenCallee[cn] = true
+			callers[cn] = append(callers[cn], n)
+		}
+	}
+	chains := make(map[*cgNode][]string)
+	frontier := make([]*cgNode, 0, len(sinks))
+	seen := make(map[*cgNode]bool)
+	for _, s := range sinks {
+		if n := g.nodes[canonical(s)]; n != nil && !seen[n] {
+			seen[n] = true
+			chains[n] = []string{displayName(n.fn)}
+			frontier = append(frontier, n)
+		}
+	}
+	sortNodes(frontier)
+	for len(frontier) > 0 {
+		var next []*cgNode
+		for _, n := range frontier {
+			for _, c := range callers[n] {
+				if seen[c] {
+					continue
+				}
+				seen[c] = true
+				chain := make([]string, 0, len(chains[n])+1)
+				chain = append(chain, displayName(c.fn))
+				chain = append(chain, chains[n]...)
+				chains[c] = chain
+				next = append(next, c)
+			}
+		}
+		sortNodes(next)
+		frontier = next
+	}
+	return chains
 }
 
 // TypeOfExpr resolves the static type of e, reporting success.

@@ -1,0 +1,445 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// KeycoverAnalyzer is the static coverage proof behind the cache key
+// and the manifest: every field of a covered config struct must be
+// written into the annotated encoder's output, or carry an explicit,
+// justified exemption. The reflection field-count test
+// (TestKeyCoversConfig) can only say "a field was added somewhere";
+// keycover pinpoints WHICH field is missing, catches duplicated (dead
+// or double-hashed) writes, and reports exemptions that have gone
+// stale.
+//
+// An encoder declares what it covers in its doc comment:
+//
+//	//tlavet:keycover sim.Config
+//
+// The named struct and every module-local struct reachable through its
+// non-exempt fields (through pointers, slices, arrays, and map values)
+// become tracked. A field is covered when the encoder's body selects it
+// (cfg.Hierarchy, h.Cores — aliasing through local variables works
+// because matching is type-based), or when a whole value of its struct
+// is passed to a call (marshal mode: json.Marshal(m) covers every
+// exported field not tagged `json:"-"`). A field that must not enter
+// the output is annotated at its declaration:
+//
+//	//tlavet:keyexempt <reason>
+//
+// Findings are reported at the field declaration and carry the call
+// chain from the nearest exported function into the encoder, so the
+// report shows how the incomplete encoding is reached.
+var KeycoverAnalyzer = &Analyzer{
+	Name:      "keycover",
+	Doc:       "every field of a //tlavet:keycover'd struct is encoded or //tlavet:keyexempt'd",
+	Default:   true,
+	RunModule: runKeycover,
+}
+
+const (
+	directiveKeycover  = "//tlavet:keycover"
+	directiveKeyexempt = "//tlavet:keyexempt"
+)
+
+// kcField is one struct field as seen at its declaration.
+type kcField struct {
+	name      string
+	pos       token.Pos
+	exported  bool
+	jsonSkip  bool // tagged `json:"-"`
+	exempt    bool
+	exemptPos token.Pos
+	// structKey is the tracked-type key of the field's (unwrapped)
+	// struct type when it is declared in this module, else "".
+	structKey string
+}
+
+// kcType is one module-declared struct type, keyed by
+// "<pkg path>.<type name>". String keys make matching robust across
+// packages: the same type seen through different import instantiations
+// compares equal.
+type kcType struct {
+	key     string
+	display string // "pkg.Type" using the package name
+	fields  []*kcField
+}
+
+func runKeycover(mp *ModulePass) {
+	m := mp.Module
+	structs := collectStructs(mp)
+	g := buildCallGraph(m)
+
+	// Gather annotated encoders in deterministic order.
+	type target struct {
+		pkg  *Package
+		decl *ast.FuncDecl
+		fn   *types.Func
+		refs []string
+		pos  token.Pos
+	}
+	var targets []target
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil || fd.Body == nil {
+					continue
+				}
+				var refs []string
+				var dirPos token.Pos
+				for _, c := range fd.Doc.List {
+					rest, ok := strings.CutPrefix(c.Text, directiveKeycover)
+					if !ok || (rest != "" && !strings.HasPrefix(rest, " ")) {
+						continue
+					}
+					args := strings.Fields(rest)
+					if len(args) == 0 {
+						mp.Report(fd.Name.Pos(), "keycover directive names no type",
+							"write //tlavet:keycover <Type> or <pkg>.<Type>", nil)
+						continue
+					}
+					refs = append(refs, args...)
+					dirPos = c.Pos()
+				}
+				if len(refs) == 0 {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				targets = append(targets, target{pkg: pkg, decl: fd, fn: canonical(fn), refs: refs, pos: dirPos})
+			}
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].pos < targets[j].pos })
+
+	for _, t := range targets {
+		chain := entryChain(g, t.fn)
+		// Resolve the directive's type references against the module.
+		var roots []string
+		for _, ref := range t.refs {
+			key, err := resolveTypeRef(m, t.pkg, ref)
+			if err != "" {
+				mp.Report(t.decl.Name.Pos(), err, "name a struct type declared in this module", chain)
+				continue
+			}
+			if _, ok := structs[key]; !ok {
+				mp.Report(t.decl.Name.Pos(), "keycover target "+ref+" is not a struct type",
+					"name a struct type declared in this module", chain)
+				continue
+			}
+			roots = append(roots, key)
+		}
+		if len(roots) == 0 {
+			continue
+		}
+		checkCoverage(mp, structs, t.pkg, t.decl, displayName(t.fn), roots, chain)
+	}
+}
+
+// entryChain returns the shortest call chain from an exported module
+// function into fn (fn last), for attaching to coverage findings. When
+// nothing exported reaches fn the chain is just fn itself.
+func entryChain(g *callGraph, fn *types.Func) []string {
+	chains := g.chainsToSinks([]*types.Func{fn})
+	var best []string
+	for n, c := range chains {
+		if !n.fn.Exported() {
+			continue
+		}
+		if best == nil || len(c) < len(best) ||
+			(len(c) == len(best) && c[0] < best[0]) {
+			best = c
+		}
+	}
+	if best == nil {
+		return []string{displayName(fn)}
+	}
+	return best
+}
+
+// resolveTypeRef resolves "[pkg.]Type" to a tracked-type key. The
+// package part matches a module package NAME (not path); unqualified
+// references resolve in the annotated function's own package. The
+// second return is a non-empty error message when resolution fails.
+func resolveTypeRef(m *Module, pkg *Package, ref string) (string, string) {
+	if pkgName, typeName, ok := strings.Cut(ref, "."); ok {
+		var paths []string
+		for _, p := range m.Pkgs {
+			if p.Types.Name() == pkgName {
+				paths = append(paths, p.Path)
+			}
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			return path + "." + typeName, ""
+		}
+		return "", "keycover: no module package named " + pkgName + " (in " + ref + ")"
+	}
+	return pkg.Path + "." + ref, ""
+}
+
+// collectStructs indexes every struct type declared in the module,
+// reading field exemption directives and json tags at the declaration.
+// Reasonless keyexempt directives are reported: like //tlavet:allow, an
+// exemption without a justification exempts nothing.
+func collectStructs(mp *ModulePass) map[string]*kcType {
+	m := mp.Module
+	modulePkgs := make(map[string]bool, len(m.Pkgs))
+	for _, p := range m.Pkgs {
+		modulePkgs[p.Path] = true
+	}
+	structs := make(map[string]*kcType)
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					kt := &kcType{
+						key:     pkg.Path + "." + ts.Name.Name,
+						display: pkg.Types.Name() + "." + ts.Name.Name,
+					}
+					for _, field := range st.Fields.List {
+						exempt, exemptPos := fieldExemption(mp, field)
+						jsonSkip := fieldJSONSkip(field)
+						for _, name := range field.Names {
+							kf := &kcField{
+								name:      name.Name,
+								pos:       name.Pos(),
+								exported:  ast.IsExported(name.Name),
+								jsonSkip:  jsonSkip,
+								exempt:    exempt,
+								exemptPos: exemptPos,
+							}
+							if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+								kf.structKey = structKeyOf(v.Type(), modulePkgs)
+							}
+							kt.fields = append(kt.fields, kf)
+						}
+					}
+					structs[kt.key] = kt
+				}
+			}
+		}
+	}
+	return structs
+}
+
+// fieldExemption scans a field's doc and line comments for a
+// `//tlavet:keyexempt <reason>` directive.
+func fieldExemption(mp *ModulePass, field *ast.Field) (bool, token.Pos) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, directiveKeyexempt)
+			if !ok || (rest != "" && !strings.HasPrefix(rest, " ")) {
+				continue
+			}
+			if len(strings.Fields(rest)) == 0 {
+				mp.Report(field.Pos(), "keyexempt directive has no reason",
+					"write //tlavet:keyexempt <reason> so exemptions stay auditable", nil)
+				continue
+			}
+			return true, c.Pos()
+		}
+	}
+	return false, token.NoPos
+}
+
+// fieldJSONSkip reports whether the field is tagged `json:"-"`.
+func fieldJSONSkip(field *ast.Field) bool {
+	if field.Tag == nil {
+		return false
+	}
+	raw, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return false
+	}
+	name, _, _ := strings.Cut(reflect.StructTag(raw).Get("json"), ",")
+	return name == "-"
+}
+
+// structKeyOf unwraps pointers, slices, arrays, and map values and
+// returns the tracked-type key when the result is a named type declared
+// in this module, else "".
+func structKeyOf(t types.Type, modulePkgs map[string]bool) string {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Slice:
+			t = u.Elem()
+			continue
+		case *types.Array:
+			t = u.Elem()
+			continue
+		case *types.Map:
+			t = u.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	if !modulePkgs[named.Obj().Pkg().Path()] {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// checkCoverage verifies one encoder against its tracked types.
+func checkCoverage(mp *ModulePass, structs map[string]*kcType, pkg *Package,
+	decl *ast.FuncDecl, encoder string, roots []string, chain []string) {
+	modulePkgs := make(map[string]bool)
+	for _, p := range mp.Module.Pkgs {
+		modulePkgs[p.Path] = true
+	}
+
+	// Expand the tracked set through non-exempt struct fields.
+	tracked := make(map[string]bool)
+	work := append([]string(nil), roots...)
+	for len(work) > 0 {
+		key := work[0]
+		work = work[1:]
+		if tracked[key] {
+			continue
+		}
+		kt, ok := structs[key]
+		if !ok {
+			continue
+		}
+		tracked[key] = true
+		for _, f := range kt.fields {
+			if f.exempt || f.structKey == "" {
+				continue
+			}
+			if _, ok := structs[f.structKey]; ok {
+				work = append(work, f.structKey)
+			}
+		}
+	}
+
+	// Scan the encoder body: selector coverage and marshal mode.
+	selSites := make(map[string][]token.Pos) // field key → occurrences
+	wholesale := make(map[string]bool)       // type key → whole value passed to a call
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			t, ok := pkg.TypeOfExpr(n.X)
+			if !ok {
+				return true
+			}
+			key := structKeyOf(t, modulePkgs)
+			if key == "" || !tracked[key] {
+				return true
+			}
+			fk := key + "." + n.Sel.Name
+			selSites[fk] = append(selSites[fk], n.Sel.Pos())
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				t, ok := pkg.TypeOfExpr(arg)
+				if !ok {
+					continue
+				}
+				key := structKeyOf(t, modulePkgs)
+				if key != "" && tracked[key] {
+					markWholesale(structs, wholesale, key)
+				}
+			}
+		}
+		return true
+	})
+
+	// Report, in deterministic tracked-type order.
+	keys := make([]string, 0, len(tracked))
+	for k := range tracked {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		kt := structs[key]
+		for _, f := range kt.fields {
+			fk := key + "." + f.name
+			display := kt.display + "." + f.name
+			sites := selSites[fk]
+			wholesaleCovered := wholesale[key] && f.exported && !f.jsonSkip
+			covered := len(sites) > 0 || wholesaleCovered
+			if f.exempt {
+				// Only an explicit selector write contradicts an exemption;
+				// wholesale marshalling by a different encoder does not make
+				// the canonical-form exemption stale.
+				if len(sites) > 0 {
+					mp.Report(f.pos,
+						"stale //tlavet:keyexempt: field "+display+" IS written by "+encoder,
+						"drop the exemption or stop encoding the field", chain)
+				}
+				continue
+			}
+			if !covered {
+				mp.Report(f.pos,
+					"field "+display+" is never written by "+encoder+
+						" and has no //tlavet:keyexempt (via "+strings.Join(chain, " → ")+")",
+					"encode the field (and bump the key/schema version) or annotate //tlavet:keyexempt <reason>",
+					chain)
+				continue
+			}
+			// Duplicate writes are only meaningful for leaves: a struct
+			// field is legitimately selected once per nested field
+			// (cfg.CPU.Width, cfg.CPU.ROB…).
+			isStruct := f.structKey != "" && tracked[f.structKey]
+			if !isStruct && len(sites) > 1 {
+				mp.Report(sites[1],
+					"field "+display+" is written "+strconv.Itoa(len(sites))+" times by "+encoder+
+						": the extra write is dead or double-encodes the field",
+					"encode each field exactly once", chain)
+			}
+		}
+	}
+}
+
+// markWholesale marks key and, transitively, the struct types of its
+// marshal-visible fields as wholly encoded: passing the value to an
+// encoder covers every exported field not tagged `json:"-"`.
+func markWholesale(structs map[string]*kcType, wholesale map[string]bool, key string) {
+	if wholesale[key] {
+		return
+	}
+	wholesale[key] = true
+	kt, ok := structs[key]
+	if !ok {
+		return
+	}
+	for _, f := range kt.fields {
+		if !f.exported || f.jsonSkip || f.exempt || f.structKey == "" {
+			continue
+		}
+		if _, ok := structs[f.structKey]; ok {
+			markWholesale(structs, wholesale, f.structKey)
+		}
+	}
+}

@@ -39,15 +39,46 @@ func runNondeterminism(pass *Pass) {
 	walkWithStack(pass.Pkg, func(n ast.Node, stack []ast.Node) {
 		switch n := n.(type) {
 		case *ast.SelectorExpr:
-			if isPackageFunc(pass, n, "time", "Now") {
+			for _, fn := range []string{"Now", "Since", "Until"} {
+				if isPackageFunc(pass, n, "time", fn) {
+					pass.Report(n.Pos(),
+						"time."+fn+" in a simulation package makes runs irreproducible",
+						"derive timing from the simulated clock, or accept a timestamp from the caller")
+				}
+			}
+			// Use-site detection resolves the selector through the type
+			// checker, so an aliased import (mrand "math/rand") is caught
+			// even when the import line itself was suppressed.
+			switch selPkgPath(pass, n) {
+			case "math/rand", "math/rand/v2":
 				pass.Report(n.Pos(),
-					"time.Now in a simulation package makes runs irreproducible",
-					"derive timing from the simulated clock, or accept a timestamp from the caller")
+					"math/rand use in a simulation package: global sources are unseeded and not reproducible",
+					"use the repository's deterministic xorshift rng (internal/trace) seeded from the run config")
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Range" &&
+				isSyncMapType(pass.TypeOf(sel.X)) {
+				pass.Report(n.Pos(),
+					"sync.Map iteration order is nondeterministic in a simulation package",
+					"simulation state is single-threaded per run: use a plain map and iterate over sorted keys")
 			}
 		case *ast.RangeStmt:
 			checkMapRange(pass, n)
 		}
 	})
+}
+
+// selPkgPath resolves sel.X to the path of an imported package (under
+// any alias), or "" when sel.X is not a package name.
+func selPkgPath(pass *Pass, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
 }
 
 // isPackageFunc reports whether sel is a use of pkgName.funcName where

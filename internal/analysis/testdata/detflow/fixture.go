@@ -1,0 +1,123 @@
+// Package detflow is a golden fixture for the determinism-taint
+// analyzer. emit is the annotated sink (the stand-in for the manifest
+// encoder); encode sits between callers and the sink so the wants
+// prove taint is tracked through the call graph, with the full
+// function→sink chain in every finding. The allowed functions at the
+// bottom pin the analyzer's precision: slice iteration, sorted
+// emission, and single goroutines must stay silent.
+package detflow
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// emit is the deterministic-output sink: its output bytes are part of
+// the byte-determinism contract.
+//
+//tlavet:detsink
+func emit(s string) {}
+
+// encode forwards to emit, so sink-reachability must cross one call.
+func encode(s string) { emit(s) }
+
+// leakMapOrder emits in map iteration order — the planted manifest
+// leak the acceptance criteria require.
+func leakMapOrder(m map[string]int) {
+	for k := range m {
+		encode(k) // want `map iteration order flows into deterministic-output sink via detflow\.leakMapOrder → detflow\.encode → detflow\.emit`
+	}
+}
+
+// leakCollected launders nothing: the slice is built in map order and
+// emitted unsorted.
+func leakCollected(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	encode(strings.Join(keys, ",")) // want `map iteration order flows into deterministic-output sink via detflow\.leakCollected → detflow\.encode → detflow\.emit`
+}
+
+// leakTime stamps the output with the wall clock.
+func leakTime() {
+	encode(time.Now().Format(time.RFC3339)) // want `wall-clock time \(time\.Now\) flows into deterministic-output sink via detflow\.leakTime → detflow\.encode → detflow\.emit`
+}
+
+// leakElapsed carries the clock through a local variable.
+func leakElapsed(start time.Time) {
+	elapsed := time.Since(start)
+	encode(elapsed.String()) // want `wall-clock time \(time\.Since\) flows into deterministic-output sink via detflow\.leakElapsed → detflow\.encode → detflow\.emit`
+}
+
+// leakRand emits an unseeded random value.
+func leakRand() {
+	encode(strconv.Itoa(rand.Int())) // want `math/rand value \(rand\.Int\) flows into deterministic-output sink via detflow\.leakRand → detflow\.encode → detflow\.emit`
+}
+
+// leakSyncMap emits in sync.Map iteration order.
+func leakSyncMap(m *sync.Map) {
+	m.Range(func(k, v any) bool {
+		encode(k.(string)) // want `sync\.Map iteration order flows into deterministic-output sink via detflow\.leakSyncMap → detflow\.encode → detflow\.emit`
+		return true
+	})
+}
+
+// leakSelect emits in whichever order the channels happen to be ready.
+func leakSelect(a, b chan string) {
+	for i := 0; i < 2; i++ {
+		select {
+		case s := <-a:
+			encode(s) // want `select arbitration order flows into deterministic-output sink via detflow\.leakSelect → detflow\.encode → detflow\.emit`
+		case s := <-b:
+			encode(s) // want `select arbitration order flows into deterministic-output sink via detflow\.leakSelect → detflow\.encode → detflow\.emit`
+		}
+	}
+}
+
+// leakGoroutines fans emission out across goroutines spawned in a
+// loop; their completion order interleaves the sink's output.
+func leakGoroutines(parts []string) {
+	for _, p := range parts {
+		go func(s string) { // want `goroutine completion order flows into deterministic-output sink via detflow\.leakGoroutines → detflow\.encode → detflow\.emit`
+			encode(s)
+		}(p)
+	}
+}
+
+// sortedKeys is allowed: the sort fixes the order before emission —
+// exactly the fix the diagnostics suggest.
+func sortedKeys(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	encode(strings.Join(keys, ","))
+}
+
+// emitRows is allowed: slice iteration is index-ordered.
+func emitRows(rows []string) {
+	for _, r := range rows {
+		encode(r)
+	}
+}
+
+// spawnOnce is allowed: a single goroutine cannot race itself.
+func spawnOnce(s string) {
+	go encode(s)
+}
+
+// tally is allowed: map iteration feeding an order-independent
+// reduction never reaches a sink.
+func tally(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,84 @@
+// Package detflowgraph is the call-graph-edge fixture for detflow: it
+// proves sink-reachability survives the indirection shapes the
+// simulator actually uses — generic instantiation (the policy tables),
+// method values (writer callbacks handed to loops), and closures
+// passed as arguments (tracer hooks). Each leak's want pins the exact
+// function→sink chain, so an edge silently dropped from the call graph
+// fails the golden test rather than just weakening the analyzer.
+package detflowgraph
+
+// sink is the deterministic-output sink.
+//
+//tlavet:detsink
+func sink(s string) {}
+
+// emitAll is generic; call-graph edges into it must resolve the
+// instantiation back to this declaration.
+func emitAll[T ~string](vs []T) {
+	for _, v := range vs {
+		sink(string(v))
+	}
+}
+
+type tag string
+
+// leakGeneric reaches the sink through an inferred generic
+// instantiation.
+func leakGeneric(m map[tag]int) {
+	for k := range m {
+		emitAll([]tag{k}) // want `map iteration order flows into deterministic-output sink via detflowgraph\.leakGeneric → detflowgraph\.emitAll → detflowgraph\.sink`
+	}
+}
+
+// leakInstantiated binds an explicit instantiation to a variable; the
+// call through the variable is dynamic, so the finding rides on the
+// reference edge taken at the bind site.
+func leakInstantiated(m map[tag]int) {
+	f := emitAll[tag]
+	for k := range m {
+		f([]tag{k}) // want `map iteration order flows into deterministic-output sink via detflowgraph\.leakInstantiated → detflowgraph\.emitAll → detflowgraph\.sink`
+	}
+}
+
+type writer struct{ out []string }
+
+// write is an annotated method sink, reached below as a method value.
+//
+//tlavet:detsink
+func (w *writer) write(s string) { w.out = append(w.out, s) }
+
+// leakMethodValue emits through a bound method value inside a
+// map-iteration region.
+func leakMethodValue(m map[string]int, w *writer) {
+	f := w.write
+	for k := range m {
+		f(k) // want `map iteration order flows into deterministic-output sink via detflowgraph\.leakMethodValue → detflowgraph\.writer\.write`
+	}
+}
+
+// apply is a neutral higher-order helper; it reaches no sink itself.
+func apply(vs []string, f func(string)) {
+	for _, v := range vs {
+		f(v)
+	}
+}
+
+// leakClosure passes a sink-calling closure as an argument inside a
+// map-iteration region; the closure body inherits the region, so the
+// inner call is the finding.
+func leakClosure(m map[string]int) {
+	for k := range m {
+		apply([]string{k}, func(s string) { sink(s) }) // want `map iteration order flows into deterministic-output sink via detflowgraph\.leakClosure → detflowgraph\.sink`
+	}
+}
+
+// emitFixed is allowed: the same shapes outside any nondeterministic
+// region stay silent.
+func emitFixed(rows []string, w *writer) {
+	f := w.write
+	for _, r := range rows {
+		f(r)
+	}
+	emitAll(rows)
+	apply(rows, func(s string) { sink(s) })
+}

@@ -1,0 +1,75 @@
+// Package exhaustive is the golden fixture for the enum dispatch
+// check. Kind is the annotated enum (the stand-in for the replacement
+// policy selector): Name covers every constant and stays silent, Apply
+// drops one arm behind a default and is reported, and allowPartial
+// shows the in-source suppression for a deliberately partial switch.
+// Mode is unannotated, so partial switches over it are fine.
+package exhaustive
+
+// Kind selects a replacement-policy implementation; every switch over
+// it must name every declared policy.
+//
+//tlavet:exhaustive
+type Kind int
+
+const (
+	LRU Kind = iota
+	NRU
+	SRRIP
+	Random
+)
+
+// Name names every constant (grouped arms count) — clean.
+func Name(k Kind) string {
+	switch k {
+	case LRU:
+		return "lru"
+	case NRU:
+		return "nru"
+	case SRRIP, Random:
+		return "rrip-family"
+	default:
+		panic("exhaustive: unknown kind")
+	}
+}
+
+// Apply dropped the Random arm; the default does not excuse it.
+func Apply(k Kind) int {
+	switch k { // want `switch over exhaustive\.Kind is not exhaustive: missing Random \(a default arm does not satisfy exhaustiveness\)`
+	case LRU:
+		return 0
+	case NRU:
+		return 1
+	case SRRIP:
+		return 2
+	default:
+		return -1
+	}
+}
+
+// allowPartial deliberately special-cases one constant; the allow
+// directive suppresses the finding with an auditable reason.
+func allowPartial(k Kind) bool {
+	//tlavet:allow exhaustive only the RRIP family needs special handling here
+	switch k {
+	case SRRIP:
+		return true
+	}
+	return false
+}
+
+// Mode is not annotated, so partial switches over it are unchecked.
+type Mode int
+
+const (
+	ModeA Mode = iota
+	ModeB
+)
+
+func pick(m Mode) int {
+	switch m {
+	case ModeA:
+		return 1
+	}
+	return 0
+}

@@ -726,7 +726,7 @@ func (h *Hierarchy) prefetchFill(core int, pa uint64) {
 		}
 		h.Traffic.MemoryReads++
 		h.fillL2(core, la)
-	default:
+	case Inclusive, NonInclusive:
 		if set, way, ok := h.llc.Lookup(la); ok {
 			h.llc.PromoteWay(set, way)
 			h.llc.AddPresenceAt(set, way, core)

@@ -30,6 +30,12 @@ import (
 )
 
 // InclusionMode selects the LLC's relationship to the core caches.
+// Switches over it must name every mode (tlavet's exhaustive check):
+// the inclusive/non-inclusive/exclusive split is the paper's central
+// axis, and a mode silently absorbed by a default arm is exactly the
+// bug class the check exists for.
+//
+//tlavet:exhaustive
 type InclusionMode uint8
 
 const (
@@ -60,6 +66,9 @@ func (m InclusionMode) String() string {
 }
 
 // TLAPolicy selects the temporal-locality-aware management policy.
+// Switches over it must name every policy (tlavet's exhaustive check).
+//
+//tlavet:exhaustive
 type TLAPolicy uint8
 
 const (
@@ -146,6 +155,9 @@ const (
 )
 
 // Level identifies where in the hierarchy an access was satisfied.
+// Switches over it must name every level (tlavet's exhaustive check).
+//
+//tlavet:exhaustive
 type Level uint8
 
 const (
@@ -564,7 +576,10 @@ func (h *Hierarchy) latency(lv Level) uint64 {
 	case LevelVictimCache:
 		// A victim-cache hit pays the LLC lookup plus a swap.
 		return h.cfg.Latency.LLC + 2
+	case LevelMemory:
+		return h.cfg.Latency.Memory
 	default:
+		// Defensive: a zero (unset) Level pays the full memory penalty.
 		return h.cfg.Latency.Memory
 	}
 }

@@ -53,6 +53,9 @@ func (h *Hierarchy) CheckInvariants() error {
 				return err
 			}
 		}
+	case NonInclusive:
+		// Non-inclusion imposes no cross-level containment invariant:
+		// the LLC neither guarantees nor forbids core-cache residency.
 	}
 	if h.cfg.L2Inclusive {
 		for c := 0; c < h.cfg.Cores; c++ {

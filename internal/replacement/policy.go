@@ -19,7 +19,12 @@ package replacement
 
 import "fmt"
 
-// Kind names a replacement policy implementation.
+// Kind names a replacement policy implementation. Switches over Kind
+// must name every policy (tlavet's exhaustive check): a default arm
+// is exactly how a newly added policy would be silently mis-handled
+// by the String/New dispatch ladders.
+//
+//tlavet:exhaustive
 type Kind int
 
 const (

@@ -35,12 +35,21 @@ import (
 // in-flight job), or "miss" (a new simulation was started).
 const ResultHeader = "X-Tlacache-Result"
 
+// JobState is a job's lifecycle phase. The wire encoding is the plain
+// string, so typing it costs nothing over the JSON API; switches over
+// it must name every state (tlavet's exhaustive check), so adding a
+// lifecycle phase fails loudly in every dispatch instead of slipping
+// through a default arm.
+//
+//tlavet:exhaustive
+type JobState string
+
 // Job states, in lifecycle order.
 const (
-	StateQueued  = "queued"
-	StateRunning = "running"
-	StateDone    = "done"
-	StateFailed  = "failed"
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
 )
 
 // Sentinel errors for submission rejections.
@@ -131,7 +140,7 @@ type Event struct {
 	Type      string            `json:"type"` // "state", "sample", "done", "error"
 	Key       string            `json:"key,omitempty"`
 	RequestID string            `json:"request_id,omitempty"`
-	State     string            `json:"state,omitempty"`
+	State     JobState          `json:"state,omitempty"`
 	Sample    *telemetry.Sample `json:"sample,omitempty"`
 	Error     string            `json:"error,omitempty"`
 }
@@ -149,7 +158,7 @@ type Job struct {
 	done      chan struct{}
 
 	mu     sync.Mutex
-	state  string
+	state  JobState
 	err    string
 	result []byte // set on success; lets waiters answer even if no cache tier retained it
 	spans  service.PhaseSpans
@@ -176,14 +185,14 @@ func (j *Job) spansSnapshot() service.PhaseSpans {
 }
 
 // snapshot reads the job's current state and error message.
-func (j *Job) snapshot() (state, errMsg string) {
+func (j *Job) snapshot() (state JobState, errMsg string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.state, j.err
 }
 
 // setState transitions the job and notifies subscribers.
-func (j *Job) setState(state string) {
+func (j *Job) setState(state JobState) {
 	j.mu.Lock()
 	j.state = state
 	j.mu.Unlock()
@@ -387,10 +396,10 @@ func (s *Server) Drain(ctx context.Context) error {
 
 // JobStatus is the wire form of a job's state.
 type JobStatus struct {
-	Key    string `json:"key"`
-	State  string `json:"state"`
-	Error  string `json:"error,omitempty"`
-	Result string `json:"result,omitempty"`
+	Key    string   `json:"key"`
+	State  JobState `json:"state"`
+	Error  string   `json:"error,omitempty"`
+	Result string   `json:"result,omitempty"`
 }
 
 func resultPath(key string) string { return "/v1/jobs/" + key + "/result" }
@@ -446,6 +455,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	//tlavet:allow detflow cache-lookup wall time is telemetry recorded in the manifest's spans, never simulated state
 	j, coalesced, retry, err := s.submit(key, norm, requestIDFrom(r.Context()), lookupSeconds)
 	switch {
 	case errors.Is(err, ErrDraining):

@@ -58,10 +58,15 @@ func (ew *eventWriter) write(ev Event) error {
 	return nil
 }
 
-// terminalEvent renders a finished job's final state as an event.
-func terminalEvent(key, state, errMsg string) Event {
-	if errMsg != "" {
+// terminalEvent renders a finished job's final state as an event. The
+// error/done split keys off the state machine, not the message: fail()
+// is the only transition into StateFailed and always records the
+// message the subscriber sees.
+func terminalEvent(key string, state JobState, errMsg string) Event {
+	switch state {
+	case StateFailed:
 		return Event{Type: "error", Key: key, State: state, Error: errMsg}
+	case StateQueued, StateRunning, StateDone:
 	}
 	return Event{Type: "done", Key: key, State: state}
 }

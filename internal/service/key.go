@@ -59,7 +59,13 @@ func ValidKey(key string) bool {
 // hashes. Every value is written explicitly — no struct marshalling —
 // so field reordering in the config types cannot reorder the hash
 // input, and enum values are written numerically so renaming a
-// String() form cannot shift keys.
+// String() form cannot shift keys. tlavet's keycover check proves the
+// field closure of sim.Config is either written here or explicitly
+// exempted at its declaration; detflow proves no nondeterministic
+// value or ordering reaches the hash input.
+//
+//tlavet:detsink
+//tlavet:keycover sim.Config
 func canonical(cfg sim.Config, apps []string, policy string, seed uint64) string {
 	var b strings.Builder
 	h := cfg.Hierarchy

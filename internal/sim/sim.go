@@ -39,12 +39,16 @@ type Config struct {
 	Warmup uint64
 	// Seed diversifies the synthetic streams; a mix is reproducible
 	// given (Config, Mix).
+	//
+	//tlavet:keyexempt hashed via service.Key's explicit seed argument, which overrides this field
 	Seed uint64
 	// InvariantEvery, when positive, verifies the hierarchy's
 	// structural invariants (inclusion, exclusion, directory coverage)
 	// every InvariantEvery committed instructions and aborts the run on
 	// a violation. Meant for debugging and the test suite; it is too
 	// expensive for production sweeps.
+	//
+	//tlavet:keyexempt debug-only invariant checking; aborts on violation, never changes results
 	InvariantEvery uint64
 	// AuditEvery, when positive, runs a full hierarchy audit
 	// (hierarchy.Auditor: structural invariants, per-cache consistency,
@@ -53,6 +57,8 @@ type Config struct {
 	// aborts the run on a violation, reporting the seed that reproduces
 	// it. Stronger and costlier than InvariantEvery; exposed as
 	// `tlasim -audit N`.
+	//
+	//tlavet:keyexempt debug-only audit mode; aborts on violation, never changes results
 	AuditEvery uint64
 	// Probe, when non-nil, receives typed telemetry events (inclusion
 	// victims, back-invalidations, ECI, QBS, TLH) from the hierarchy.
@@ -60,6 +66,8 @@ type Config struct {
 	// measurement window — including, like Traffic, the post-budget
 	// execution of fast cores. A probe must not be shared between
 	// concurrent runs.
+	//
+	//tlavet:keyexempt pure observer; never changes simulation results
 	Probe telemetry.Probe
 	// DecisionTracer, when non-nil, receives one record per LLC victim
 	// choice (candidate ways with per-policy ranks, the chosen way, the
@@ -69,6 +77,8 @@ type Config struct {
 	// observer fields it never changes simulation results — the service
 	// cache key excludes it — and must not be shared between concurrent
 	// runs.
+	//
+	//tlavet:keyexempt pure observer; never changes simulation results
 	DecisionTracer telemetry.DecisionTracer
 	// Sampler, when non-nil, captures a per-core interval time series:
 	// every Sampler.Every() instructions a core commits inside its
@@ -78,6 +88,8 @@ type Config struct {
 	// budget, so the inclusion-victim column sums exactly to the run's
 	// aggregate InclusionVictims. A sampler must not be shared between
 	// concurrent runs.
+	//
+	//tlavet:keyexempt pure observer; never changes simulation results
 	Sampler *telemetry.Sampler
 }
 

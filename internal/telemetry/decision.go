@@ -142,7 +142,10 @@ func NewDecisionWriter(w io.Writer, meta DecisionMeta) (*DecisionWriter, error) 
 // Decision implements DecisionTracer. The scratch buffer is sized for
 // the worst-case record at construction, so the appends below reuse it
 // in the steady state; tracer-attached runs opt out of the zero-alloc
-// contract regardless (like Recorder-attached ones).
+// contract regardless (like Recorder-attached ones). TLAD1 bytes are
+// replay-compared across runs, so this is a detflow sink.
+//
+//tlavet:detsink
 func (dw *DecisionWriter) Decision(d *Decision) {
 	if dw.err != nil {
 		return
@@ -228,7 +231,10 @@ func NewDecisionJSONLWriter(w io.Writer, meta DecisionMeta) (*DecisionJSONLWrite
 	return &DecisionJSONLWriter{w: bw}, nil
 }
 
-// Decision implements DecisionTracer.
+// Decision implements DecisionTracer. The JSONL stream must be
+// byte-identical across replays, so this is a detflow sink.
+//
+//tlavet:detsink
 func (jw *DecisionJSONLWriter) Decision(d *Decision) {
 	if jw.err != nil {
 		return

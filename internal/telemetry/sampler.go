@@ -129,7 +129,10 @@ func (s *Sampler) TotalInclusionVictims() uint64 {
 // csvHeader matches the field order WriteCSV emits.
 const csvHeader = "interval,core,instructions,delta_instructions,delta_cycles,ipc,llc_mpki,inclusion_victims,victims_per_minst,llc_occupancy"
 
-// WriteCSV writes the samples as CSV with a header row.
+// WriteCSV writes the samples as CSV with a header row. The bytes are
+// replay artifacts compared across runs, so this is a detflow sink.
+//
+//tlavet:detsink
 func (s *Sampler) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, csvHeader); err != nil {
 		return err
@@ -145,6 +148,9 @@ func (s *Sampler) WriteCSV(w io.Writer) error {
 }
 
 // WriteJSONL writes the samples as JSON Lines, one Sample per line.
+// Like WriteCSV, the output must be byte-identical across replays.
+//
+//tlavet:detsink
 func (s *Sampler) WriteJSONL(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	for _, sm := range s.Samples() {
@@ -164,17 +170,23 @@ func (s *Sampler) WritePair(prefix string) error {
 			return err
 		}
 	}
-	for ext, write := range map[string]func(io.Writer) error{
-		".csv":   s.WriteCSV,
-		".jsonl": s.WriteJSONL,
-	} {
-		f, err := os.Create(prefix + ext)
+	// A fixed-order pair list, not a map: the files are written (and any
+	// error surfaces) in the same order every run.
+	pairs := []struct {
+		ext   string
+		write func(io.Writer) error
+	}{
+		{".csv", s.WriteCSV},
+		{".jsonl", s.WriteJSONL},
+	}
+	for _, p := range pairs {
+		f, err := os.Create(prefix + p.ext)
 		if err != nil {
 			return err
 		}
-		if err := write(f); err != nil {
+		if err := p.write(f); err != nil {
 			f.Close()
-			return fmt.Errorf("telemetry: writing %s: %w", prefix+ext, err)
+			return fmt.Errorf("telemetry: writing %s: %w", prefix+p.ext, err)
 		}
 		if err := f.Close(); err != nil {
 			return err
