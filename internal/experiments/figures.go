@@ -17,25 +17,37 @@ import (
 // benchmark alone on cfg's machine.
 func isolationJobs(cfg sim.Config, label string, bs []workload.Benchmark) []runner.Job[sim.AppResult] {
 	jobs := make([]runner.Job[sim.AppResult], len(bs))
-	for i, b := range bs {
-		b := b
+	var a cellArena
+	a.reserve(len(bs), len(bs)*(len(label)+8))
+	for i := range bs {
+		a.path(label, bs[i].Name)
+	}
+	names := a.strings()
+	for i := range bs {
+		b := &bs[i]
 		jobs[i] = runner.Job[sim.AppResult]{
-			Name: label + "/" + b.Name,
+			Name: names[i],
 			Work: cfg.Warmup + cfg.Instructions,
 			Run: func(context.Context) (sim.AppResult, error) {
-				res, err := sim.RunIsolation(cfg, b)
+				res, err := sim.RunIsolation(cfg, *b)
 				if err != nil {
 					return res, fmt.Errorf("%s in isolation: %w", b.Name, err)
 				}
 				return res, nil
 			},
-			Detail: func(r sim.AppResult) string {
-				return fmt.Sprintf("IPC=%.3f L1=%.2f L2=%.2f LLC=%.2f",
-					r.IPC, r.L1MPKI, r.L2MPKI, r.LLCMPKI)
-			},
+			Detail: isolationDetail,
 		}
 	}
 	return jobs
+}
+
+// isolationDetail renders one job's progress decoration. A named
+// function rather than a per-job literal: it captures nothing, so the
+// jobs share one static func value instead of allocating a closure
+// each.
+func isolationDetail(r sim.AppResult) string {
+	return fmt.Sprintf("IPC=%.3f L1=%.2f L2=%.2f LLC=%.2f",
+		r.IPC, r.L1MPKI, r.L2MPKI, r.LLCMPKI)
 }
 
 // geoColumn computes the geometric mean of spec j's normalised
@@ -147,15 +159,26 @@ func Table1(o Options) ([]Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	var a cellArena
+	a.reserve(7*len(bs), 7*len(bs)*12)
 	for i, b := range bs {
 		res := results[i]
-		t.Rows = append(t.Rows, []string{
-			b.Name, b.Category.String(),
-			fmt.Sprintf("%.2f", res.L1MPKI), fmt.Sprintf("%.2f", b.Paper.L1),
-			fmt.Sprintf("%.2f", res.L2MPKI), fmt.Sprintf("%.2f", b.Paper.L2),
-			fmt.Sprintf("%.2f", res.LLCMPKI), fmt.Sprintf("%.2f", b.Paper.LLC),
-			fmt.Sprintf("%.2f", res.IPC),
-		})
+		a.float(res.L1MPKI, 2)
+		a.float(b.Paper.L1, 2)
+		a.float(res.L2MPKI, 2)
+		a.float(b.Paper.L2, 2)
+		a.float(res.LLCMPKI, 2)
+		a.float(b.Paper.LLC, 2)
+		a.float(res.IPC, 2)
+	}
+	cells := a.strings()
+	flat := make([]string, len(bs)*len(t.Columns))
+	t.Rows = make([][]string, len(bs))
+	for i, b := range bs {
+		row := flat[i*len(t.Columns) : (i+1)*len(t.Columns) : (i+1)*len(t.Columns)]
+		row[0], row[1] = b.Name, b.Category.String()
+		copy(row[2:], cells[i*7:i*7+7])
+		t.Rows[i] = row
 	}
 	return []Table{t}, nil
 }

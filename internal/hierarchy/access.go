@@ -47,6 +47,25 @@ func (h *Hierarchy) Access(core int, kind AccessKind, addr uint64) Result {
 	return h.AccessAt(core, kind, addr, 0)
 }
 
+// IFetchMemoHit attempts core's instruction-fetch memo without the
+// full access path: when addr falls on the memoized line it counts the
+// L1I hit and returns true, exactly like AccessAt's memo branch (whose
+// Result is then LevelL1 at the configured L1 latency). AccessAt is far
+// beyond the inliner's budget, so the simulator's per-instruction loop
+// uses this (inlinable) check to skip the call on the large majority of
+// fetches that repeat the previous fetch's line; a false return means
+// the fetch must take the full AccessAt path. Configurations that never
+// arm the memo (TLH) simply always return false.
+//
+//tlavet:hotpath
+func (h *Hierarchy) IFetchMemoHit(core int, addr uint64) bool {
+	if h.llc.LineAddr(addr) == h.lastILine[core] {
+		h.Cores[core].L1I.Accesses++
+		return true
+	}
+	return false
+}
+
 // AccessAt is Access with the requesting core's current cycle, which
 // the banked-LLC model (Config.LLCBanks) uses to charge bank queueing
 // delays. The simulator's min-cycle core interleaving delivers accesses
@@ -150,6 +169,9 @@ func (h *Hierarchy) accessLLC(core int, kind AccessKind, la uint64, now uint64) 
 
 // lookupLLC performs the functional LLC access.
 func (h *Hierarchy) lookupLLC(core int, kind AccessKind, la uint64) Result {
+	if h.llcSink != nil {
+		h.llcSink.LLCOp(LLCOpDemand, la)
+	}
 	cs := &h.Cores[core]
 	cs.LLC.Accesses++
 
@@ -335,6 +357,9 @@ func (h *Hierarchy) handleL2Victim(core int, victim cache.Line) {
 	}
 	if !victim.Dirty {
 		return
+	}
+	if h.llcSink != nil {
+		h.llcSink.LLCOp(LLCOpWriteback, victim.Addr)
 	}
 	if !h.llc.SetDirty(victim.Addr) {
 		h.Traffic.WritebacksToMem++
@@ -712,6 +737,9 @@ func (h *Hierarchy) prefetchFill(core int, pa uint64) {
 	la := h.llc.LineAddr(pa)
 	if h.l2[core].Contains(la) {
 		return
+	}
+	if h.llcSink != nil {
+		h.llcSink.LLCOp(LLCOpPrefetch, la)
 	}
 	h.Traffic.PrefetchFills++
 	switch h.cfg.Inclusion {

@@ -434,6 +434,13 @@ type Hierarchy struct {
 	tracer telemetry.DecisionTracer
 	dec    telemetry.Decision
 
+	// llcSink receives every LLC-bound operation when non-nil, guarded
+	// by a single nil-interface branch like probe and tracer. The
+	// sharded-by-set parallel mode uses it to capture a core's LLC
+	// message stream from a private phase-1 run and replay it against
+	// partitioned LLC shards.
+	llcSink LLCOpSink
+
 	Cores   []CoreStats
 	Traffic Traffic
 }
@@ -496,6 +503,54 @@ func New(cfg Config) (*Hierarchy, error) {
 	return h, nil
 }
 
+// Reset returns the hierarchy to its freshly constructed state in
+// place, preserving the configuration and every allocation: caches
+// (contents, replacement state, lookup memos), prefetchers, the victim
+// cache, the TLH sampling clock, the per-core ifetch memos, bank
+// clocks, the decision-record scratch (its sequence number restarts at
+// zero, like a fresh hierarchy's), and all statistics.
+//
+// Observers (probe, decision tracer) are detached: they belong to one
+// run's measurement window, and a pooled hierarchy reused for a new
+// run must not report events to the previous run's instruments. The
+// simulator re-attaches its own observers at the warmup boundary.
+//
+// Reset-then-rerun must be indistinguishable from fresh-build-then-run;
+// the reset-equivalence regression tests pin that byte-for-byte.
+func (h *Hierarchy) Reset() {
+	for c := 0; c < h.cfg.Cores; c++ {
+		h.l1i[c].Reset()
+		h.l1d[c].Reset()
+		h.l2[c].Reset()
+		if h.pf != nil {
+			h.pf[c].Reset()
+		}
+	}
+	h.llc.Reset()
+	if h.vc != nil {
+		h.vc.reset()
+	}
+	h.buf = h.buf[:0]
+	h.hintClock = 0
+	h.clearIFetchMemos()
+	for i := range h.bankFree {
+		h.bankFree[i] = 0
+	}
+	h.probe = nil
+	h.tracer = nil
+	h.llcSink = nil
+	// Keep the candidate scratch buffer (SetDecisionTracer would just
+	// reallocate it) but restart the record — Seq must count from zero
+	// again or a reused hierarchy's first trace record would expose the
+	// previous run's decision count.
+	cands := h.dec.Candidates
+	h.dec = telemetry.Decision{Candidates: cands}
+	for i := range h.Cores {
+		h.Cores[i] = CoreStats{}
+	}
+	h.Traffic = Traffic{}
+}
+
 // MustNew is New for known-good configurations.
 func MustNew(cfg Config) *Hierarchy {
 	h, err := New(cfg)
@@ -524,6 +579,47 @@ func (h *Hierarchy) SetDecisionTracer(t telemetry.DecisionTracer) {
 		h.dec.Candidates = make([]telemetry.DecisionCandidate, h.cfg.LLCAssoc)
 	}
 }
+
+// LLCOpKind classifies one message a core's private cache hierarchy
+// sends to the shared LLC. Switches over it must name every kind
+// (tlavet's exhaustive check): a silently unhandled kind would drop a
+// whole message class from a sharded replay.
+//
+//tlavet:exhaustive
+type LLCOpKind uint8
+
+const (
+	// LLCOpDemand is a demand access that missed the core caches
+	// (the lookupLLC entry point).
+	LLCOpDemand LLCOpKind = iota
+	// LLCOpWriteback is a dirty L2 victim writing back to the LLC
+	// copy when one exists, and to memory otherwise.
+	LLCOpWriteback
+	// LLCOpPrefetch is a prefetched line being installed (the
+	// prefetchFill path, after its private L2 residency gate).
+	LLCOpPrefetch
+)
+
+// LLCOpSink observes every LLC-bound operation of a run. Like Probe
+// and DecisionTracer it is called synchronously from the single
+// simulation goroutine, guarded by one nil-interface branch per fire
+// site, and must not be shared between concurrent runs.
+//
+// In the non-inclusive, TLA-none machine (no victim cache, no banks)
+// the emitted stream is a pure function of the private core caches:
+// the LLC answers every demand miss and prefetch fill identically from
+// the private side's point of view (allocate L2, fill L1), sends no
+// back-invalidations, and never changes which instruction runs next.
+// That independence is what makes the sharded-by-set parallel mode
+// sound — see internal/sim's sharded runner.
+type LLCOpSink interface {
+	//tlavet:hotpath
+	LLCOp(kind LLCOpKind, la uint64)
+}
+
+// SetLLCOpSink attaches (or, with nil, detaches) an LLC operation
+// sink.
+func (h *Hierarchy) SetLLCOpSink(s LLCOpSink) { h.llcSink = s }
 
 // DecisionMeta describes the LLC geometry and policy for decision-trace
 // headers (telemetry.DecisionMeta).

@@ -313,30 +313,3 @@ func (h *Hierarchy) TotalInclusionVictims() uint64 {
 	}
 	return n
 }
-
-// Reset clears every cache, the prefetchers, the victim cache, and all
-// statistics, preserving the configuration.
-func (h *Hierarchy) Reset() {
-	for c := 0; c < h.cfg.Cores; c++ {
-		h.l1i[c].Reset()
-		h.l1d[c].Reset()
-		h.l2[c].Reset()
-		if h.pf != nil {
-			h.pf[c].Reset()
-		}
-	}
-	h.llc.Reset()
-	if h.vc != nil {
-		h.vc.addrs = h.vc.addrs[:0]
-		h.vc.dirty = h.vc.dirty[:0]
-	}
-	h.hintClock = 0
-	h.clearIFetchMemos()
-	for i := range h.bankFree {
-		h.bankFree[i] = 0
-	}
-	for i := range h.Cores {
-		h.Cores[i] = CoreStats{}
-	}
-	h.Traffic = Traffic{}
-}

@@ -69,3 +69,10 @@ func (v *victimCache) promote(i int) {
 }
 
 func (v *victimCache) len() int { return len(v.addrs) }
+
+// reset empties the victim cache in place, keeping the backing arrays
+// so a reused hierarchy does not reallocate them.
+func (v *victimCache) reset() {
+	v.addrs = v.addrs[:0]
+	v.dirty = v.dirty[:0]
+}

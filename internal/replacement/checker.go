@@ -11,6 +11,18 @@ type Checker interface {
 	CheckSet(set int) error
 }
 
+// ResetChecker is an optional interface a Policy may implement so
+// reset-equivalence tests (and the pooled-hierarchy reuse path built on
+// StateResetter) can verify a reset policy is indistinguishable from a
+// freshly constructed one. Every policy with adaptive state implements
+// it: a ResetState that leaves any rank state, fill counter, or
+// set-dueling selector behind breaks fresh-vs-reset equivalence.
+type ResetChecker interface {
+	// CheckResetState returns an error when the policy's state differs
+	// from its freshly constructed state.
+	CheckResetState() error
+}
+
 // CheckSet verifies the LRU recency stack: set's stack row must be a
 // permutation of the ways and (wide representation) its pos row the
 // exact inverse. For the packed representation the nibbles at and above
@@ -73,4 +85,126 @@ func (p *NRUBits) CheckSet(set int) error {
 		return fmt.Errorf("replacement: NRU set %d fully referenced: no victim candidate", set)
 	}
 	return nil
+}
+
+// CheckSet verifies the RRPV table: every value must be within the
+// 2-bit range. Victim's ageing loop terminates only because some way
+// eventually reaches exactly max — an out-of-range value (possible only
+// through memory corruption or a future encoding bug) could loop
+// forever by stepping past it.
+func (p *SRRIPTable) CheckSet(set int) error {
+	for w, v := range p.rrpv[set*p.assoc : set*p.assoc+p.assoc] {
+		if v > p.max {
+			return fmt.Errorf("replacement: SRRIP set %d way %d RRPV %d exceeds max %d", set, w, v, p.max)
+		}
+	}
+	return nil
+}
+
+// CheckSet verifies the latched victim is either stale (-1) or a real
+// way index.
+func (p *random) CheckSet(set int) error {
+	if v := p.victim[set]; v < -1 || v >= p.assoc {
+		return fmt.Errorf("replacement: Random set %d latched victim %d out of range [0,%d)", set, v, p.assoc)
+	}
+	return nil
+}
+
+// CheckResetState verifies every set's recency order is the fresh
+// identity order (way 0 most recent) on top of the structural CheckSet
+// invariants.
+func (p *LRUStack) CheckResetState() error {
+	numSets := len(p.packed)
+	if p.packed == nil {
+		numSets = len(p.stack) / p.assoc
+	}
+	for s := 0; s < numSets; s++ {
+		if err := p.CheckSet(s); err != nil {
+			return err
+		}
+		for w := 0; w < p.assoc; w++ {
+			if got := p.StackPosition(s, w); got != w {
+				return fmt.Errorf("replacement: LRU set %d way %d at stack position %d after reset, want %d",
+					s, w, got, w)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckResetState verifies every reference bit and live count is clear.
+func (p *NRUBits) CheckResetState() error {
+	for i, r := range p.ref {
+		if r {
+			return fmt.Errorf("replacement: NRU set %d way %d referenced after reset", i/p.assoc, i%p.assoc)
+		}
+	}
+	for s, n := range p.live {
+		if n != 0 {
+			return fmt.Errorf("replacement: NRU set %d live count %d after reset", s, n)
+		}
+	}
+	return nil
+}
+
+// CheckResetState verifies every RRPV holds the fresh distant value.
+func (p *SRRIPTable) CheckResetState() error {
+	for i, v := range p.rrpv {
+		if v != p.max {
+			return fmt.Errorf("replacement: SRRIP set %d way %d RRPV %d after reset, want %d",
+				i/p.assoc, i%p.assoc, v, p.max)
+		}
+	}
+	return nil
+}
+
+// CheckResetState verifies the rng is rewound and every latch is stale.
+func (p *random) CheckResetState() error {
+	if p.state != randomSeed {
+		return fmt.Errorf("replacement: Random rng state %#x after reset, want %#x", p.state, uint64(randomSeed))
+	}
+	for s, v := range p.victim {
+		if v != -1 {
+			return fmt.Errorf("replacement: Random set %d victim latch %d after reset, want -1", s, v)
+		}
+	}
+	return nil
+}
+
+// CheckResetState verifies the stacks and the BIP fill counter.
+func (p *bip) CheckResetState() error {
+	if p.fills != 0 {
+		return fmt.Errorf("replacement: BIP fill counter %d after reset", p.fills)
+	}
+	return p.LRUStack.CheckResetState()
+}
+
+// CheckResetState verifies the stacks, fill counter, and selector.
+func (p *dip) CheckResetState() error {
+	if p.fills != 0 {
+		return fmt.Errorf("replacement: DIP fill counter %d after reset", p.fills)
+	}
+	if p.psel != dipPselMax/2 {
+		return fmt.Errorf("replacement: DIP selector %d after reset, want %d", p.psel, dipPselMax/2)
+	}
+	return p.LRUStack.CheckResetState()
+}
+
+// CheckResetState verifies the RRPV table and the BRRIP fill counter.
+func (p *brrip) CheckResetState() error {
+	if p.fills != 0 {
+		return fmt.Errorf("replacement: BRRIP fill counter %d after reset", p.fills)
+	}
+	return p.SRRIPTable.CheckResetState()
+}
+
+// CheckResetState verifies the RRPV table, fill counter, and selector.
+func (p *drrip) CheckResetState() error {
+	if p.fills != 0 {
+		return fmt.Errorf("replacement: DRRIP fill counter %d after reset", p.fills)
+	}
+	if p.psel != dipPselMax/2 {
+		return fmt.Errorf("replacement: DRRIP selector %d after reset, want %d", p.psel, dipPselMax/2)
+	}
+	return p.SRRIPTable.CheckResetState()
 }

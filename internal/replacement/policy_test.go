@@ -5,7 +5,7 @@ import (
 	"testing/quick"
 )
 
-func allKinds() []Kind { return []Kind{LRU, NRU, SRRIP, Random} }
+func allKinds() []Kind { return []Kind{LRU, NRU, SRRIP, Random, LIP, BIP, DIP, BRRIP, DRRIP} }
 
 func TestNewPanicsOnBadGeometry(t *testing.T) {
 	for _, tc := range []struct{ sets, assoc int }{{0, 4}, {4, 0}, {-1, 4}} {

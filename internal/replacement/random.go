@@ -10,10 +10,14 @@ type random struct {
 	victim []int // latched victim per set, -1 when stale
 }
 
+// randomSeed is the fixed xorshift64 seed every fresh (or reset)
+// Random policy starts from.
+const randomSeed uint64 = 0x9e3779b97f4a7c15
+
 func newRandom(numSets, assoc int) *random {
 	p := &random{
 		assoc:  assoc,
-		state:  0x9e3779b97f4a7c15,
+		state:  randomSeed,
 		victim: make([]int, numSets),
 	}
 	for s := range p.victim {
@@ -26,7 +30,7 @@ func (p *random) Name() string { return "Random" }
 
 // ResetState rewinds the victim rng and unlatches every set.
 func (p *random) ResetState() {
-	p.state = 0x9e3779b97f4a7c15
+	p.state = randomSeed
 	for s := range p.victim {
 		p.victim[s] = -1
 	}

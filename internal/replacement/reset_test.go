@@ -1,0 +1,138 @@
+package replacement
+
+import "testing"
+
+// exercise drives p through a deterministic mixed workload (inserts,
+// touches, demotes, victim picks) covering enough sets to hit DIP/DRRIP
+// leader and follower sets and enough fills to advance the BIP/BRRIP
+// bimodal counters. It returns the victim picks so callers can compare
+// behaviour between instances.
+func exercise(p Policy, numSets, assoc int) []int {
+	picks := make([]int, 0, 4*numSets)
+	state := uint64(0x243f6a8885a308d3)
+	next := func(n int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(n))
+	}
+	for round := 0; round < 4; round++ {
+		for set := 0; set < numSets; set++ {
+			w := p.Victim(set)
+			picks = append(picks, w)
+			p.Insert(set, w)
+			p.Touch(set, next(assoc))
+			if next(3) == 0 {
+				p.Demote(set, next(assoc))
+			}
+			picks = append(picks, p.Victim(set))
+		}
+	}
+	return picks
+}
+
+// TestResetStateEquivalence proves ResetState returns every policy to a
+// state behaviourally indistinguishable from a fresh construction: the
+// same workload replayed after a reset must produce the identical
+// victim sequence a fresh policy produces. Pooled hierarchies reuse
+// policies across runs through exactly this path, so any stale rank
+// state, fill counter, or set-dueling selector here would silently skew
+// reused-run results.
+func TestResetStateEquivalence(t *testing.T) {
+	const numSets, assoc = 64, 8
+	for _, k := range allKinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			reused := New(k, numSets, assoc)
+			rs, ok := reused.(StateResetter)
+			if !ok {
+				t.Fatalf("%s does not implement StateResetter", k)
+			}
+			exercise(reused, numSets, assoc) // dirty every piece of state
+			rs.ResetState()
+
+			rc, ok := reused.(ResetChecker)
+			if !ok {
+				t.Fatalf("%s does not implement ResetChecker", k)
+			}
+			if err := rc.CheckResetState(); err != nil {
+				t.Fatalf("post-reset state check: %v", err)
+			}
+
+			fresh := New(k, numSets, assoc)
+			got := exercise(reused, numSets, assoc)
+			want := exercise(fresh, numSets, assoc)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("victim pick %d diverges after reset: got way %d, fresh picks way %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestCheckResetStateDetectsResidue proves the reset checks actually
+// bite: a policy with any post-workload residue must fail them.
+func TestCheckResetStateDetectsResidue(t *testing.T) {
+	const numSets, assoc = 64, 8
+	for _, k := range allKinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			p := New(k, numSets, assoc)
+			exercise(p, numSets, assoc)
+			if err := p.(ResetChecker).CheckResetState(); err == nil {
+				t.Fatal("exercised policy passes CheckResetState without a reset")
+			}
+		})
+	}
+}
+
+// TestCheckSetCoverage verifies the audit hook now covers every policy
+// family whose per-set metadata has an internal invariant, and that a
+// well-formed fresh policy passes it.
+func TestCheckSetCoverage(t *testing.T) {
+	const numSets, assoc = 16, 8
+	for _, k := range allKinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			p := New(k, numSets, assoc)
+			c, ok := p.(Checker)
+			if !ok {
+				t.Fatalf("%s does not implement Checker", k)
+			}
+			exercise(p, numSets, assoc)
+			for s := 0; s < numSets; s++ {
+				if err := c.CheckSet(s); err != nil {
+					t.Fatalf("set %d: %v", s, err)
+				}
+			}
+		})
+	}
+}
+
+// TestSRRIPCheckSetDetectsCorruption plants an out-of-range RRPV and
+// expects CheckSet to name it — the failure mode that would hang
+// Victim's ageing scan.
+func TestSRRIPCheckSetDetectsCorruption(t *testing.T) {
+	p := newSRRIP(4, 4)
+	p.rrpv[2*4+1] = p.max + 1
+	if err := p.CheckSet(2); err == nil {
+		t.Fatal("corrupt RRPV passes CheckSet")
+	}
+	if err := p.CheckSet(1); err != nil {
+		t.Fatalf("clean set fails CheckSet: %v", err)
+	}
+}
+
+// TestRandomCheckSetDetectsCorruption plants an out-of-range victim
+// latch and expects CheckSet to name it.
+func TestRandomCheckSetDetectsCorruption(t *testing.T) {
+	p := newRandom(4, 4)
+	p.victim[3] = 4
+	if err := p.CheckSet(3); err == nil {
+		t.Fatal("corrupt victim latch passes CheckSet")
+	}
+	if err := p.CheckSet(0); err != nil {
+		t.Fatalf("clean set fails CheckSet: %v", err)
+	}
+}

@@ -151,7 +151,9 @@ func runJob[T any](ctx context.Context, cfg Config, i int, j Job[T]) (res Result
 		detail := ""
 		if res.Err != nil {
 			res.Stat.Error = res.Err.Error()
-		} else if j.Detail != nil {
+		} else if j.Detail != nil && cfg.Reporter != nil {
+			// Detail only decorates the Reporter's progress line; don't
+			// render it (fmt.Sprintf allocations per job) on headless runs.
 			detail = j.Detail(res.Value)
 		}
 		cfg.Collector.add(res.Stat)

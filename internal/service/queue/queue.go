@@ -59,7 +59,16 @@ func (b *TokenBucket) Take() (ok bool, retryAfter time.Duration) {
 		b.tokens--
 		return true, 0
 	}
-	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	d := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	if d <= 0 {
+		// At high refill rates the deficit repays in under a
+		// nanosecond and the conversion truncates to zero — a
+		// rejection whose Retry-After tells the client to hammer
+		// immediately. Report the smallest positive wait instead; the
+		// HTTP layer rounds whole seconds up from it (retrySeconds).
+		d = time.Nanosecond
+	}
+	return false, d
 }
 
 // Burst reports the bucket's capacity; 0 for a nil bucket.

@@ -234,3 +234,32 @@ func TestAdmissionConcurrent(t *testing.T) {
 		t.Errorf("in-flight after all released = %d", s.InFlight)
 	}
 }
+
+// A rejection must never carry a zero Retry-After: at high refill
+// rates the token deficit repays in under a nanosecond, and before the
+// clamp the duration conversion truncated that to 0 — "rejected, retry
+// with no delay", inviting a hot retry loop at exactly the moment the
+// limiter is shedding load.
+func TestTakeRetryAfterAlwaysPositive(t *testing.T) {
+	clk := newFakeClock()
+	b := NewTokenBucket(1e10, 1, clk.now)
+	if ok, _ := b.Take(); !ok {
+		t.Fatal("full bucket rejected the first take")
+	}
+	// Same instant: no refill, deficit = 1 token = 100ps at this rate.
+	ok, retry := b.Take()
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if retry <= 0 {
+		t.Fatalf("rejection with retry = %v; Retry-After must be positive", retry)
+	}
+	// The gates compose: Admission must relay the clamped value too.
+	a := NewAdmission(0, b)
+	if rel, retry, ok := a.Admit(); ok {
+		rel()
+		t.Fatal("admission over an empty bucket succeeded")
+	} else if retry <= 0 {
+		t.Fatalf("admission rejection with retry = %v", retry)
+	}
+}

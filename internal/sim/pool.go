@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"tlacache/internal/cpu"
+	"tlacache/internal/hierarchy"
+	"tlacache/internal/trace"
+)
+
+// Machine and generator pooling: building a hierarchy allocates the
+// full modelled state (every cache's tag, flag, presence, and
+// replacement arrays), which dwarfs the work of short runs and of every
+// warmup-reset. Sweeps run thousands of cells over a handful of
+// distinct machine shapes, so RunGenerators checks these free lists
+// before building. Reuse is sound because hierarchy.Reset and
+// cpu.Core.Reset restore the exact freshly-constructed state — pinned
+// byte-for-byte by TestResetEquivalence (sim) and
+// TestResetStateEquivalence (replacement).
+
+// machineKey identifies a machine shape. Both configs are flat value
+// structs, so the composite is a valid map key and two equal keys
+// describe identical machines.
+type machineKey struct {
+	h hierarchy.Config
+	c cpu.Config
+}
+
+// machine bundles one run's reusable state: the hierarchy, the cores,
+// the per-core address-space wrappers, and the interleave scratch.
+type machine struct {
+	key       machineKey
+	h         *hierarchy.Hierarchy
+	cores     []*cpu.Core
+	gens      []*offsetGen
+	committed []uint64
+	finished  []bool
+	ipcs      []float64
+	apps      []AppResult
+	// in is the run loop's instruction scratch. A machine field rather
+	// than a local: its address flows into the generator's interface
+	// call, so as a local it would escape and cost one heap allocation
+	// per run — on a pooled machine it is allocated once.
+	in trace.Instr
+}
+
+// maxFree bounds each free list so a sweep over many distinct machine
+// shapes cannot pin more idle model state than its worker pool could
+// ever use at once.
+var maxFree = runtime.NumCPU()
+
+var machinePool = struct {
+	sync.Mutex
+	free map[machineKey][]*machine
+}{free: map[machineKey][]*machine{}}
+
+// acquireMachine returns a reset pooled machine for the configuration,
+// building one only when the free list is empty.
+func acquireMachine(hc hierarchy.Config, cc cpu.Config) (*machine, error) {
+	key := machineKey{h: hc, c: cc}
+	machinePool.Lock()
+	if s := machinePool.free[key]; len(s) > 0 {
+		m := s[len(s)-1]
+		s[len(s)-1] = nil
+		machinePool.free[key] = s[:len(s)-1]
+		machinePool.Unlock()
+		m.h.Reset()
+		for _, c := range m.cores {
+			c.Reset()
+		}
+		return m, nil
+	}
+	machinePool.Unlock()
+
+	h, err := hierarchy.New(hc)
+	if err != nil {
+		return nil, err
+	}
+	n := hc.Cores
+	m := &machine{
+		key:       key,
+		h:         h,
+		cores:     make([]*cpu.Core, n),
+		gens:      make([]*offsetGen, n),
+		committed: make([]uint64, n),
+		finished:  make([]bool, n),
+		ipcs:      make([]float64, n),
+		apps:      make([]AppResult, n),
+	}
+	for i := 0; i < n; i++ {
+		if m.cores[i], err = cpu.New(cc); err != nil {
+			return nil, err
+		}
+		m.gens[i] = &offsetGen{offset: uint64(i) * coreSpacing}
+	}
+	return m, nil
+}
+
+// releaseMachine returns a machine to its free list. Only runs that
+// completed successfully release: a machine abandoned mid-run by an
+// invariant or audit failure holds the state that produced the failure,
+// and is deliberately left to the garbage collector so it cannot feed a
+// later run. Caller-owned references (generators, observers) are
+// dropped first so the pool never prolongs their lifetime.
+func releaseMachine(m *machine) {
+	for _, g := range m.gens {
+		g.inner = nil
+	}
+	m.h.SetProbe(nil)
+	m.h.SetDecisionTracer(nil)
+	m.h.SetLLCOpSink(nil)
+	machinePool.Lock()
+	if s := machinePool.free[m.key]; len(s) < maxFree {
+		machinePool.free[m.key] = append(s, m)
+	}
+	machinePool.Unlock()
+}
+
+var synthPool = struct {
+	sync.Mutex
+	free []*trace.Synthetic
+}{}
+
+// acquireSynthetic returns a generator initialised for (prof, seed),
+// bit-identical to trace.NewSynthetic(prof, seed): pooled instances are
+// unconditionally re-derived through Reinit, so no state of a previous
+// profile — including customised copies of registered profiles — can
+// leak into a run.
+func acquireSynthetic(prof trace.Profile, seed uint64) (*trace.Synthetic, error) {
+	synthPool.Lock()
+	var g *trace.Synthetic
+	if n := len(synthPool.free); n > 0 {
+		g = synthPool.free[n-1]
+		synthPool.free[n-1] = nil
+		synthPool.free = synthPool.free[:n-1]
+	}
+	synthPool.Unlock()
+	if g == nil {
+		return trace.NewSynthetic(prof, seed)
+	}
+	if err := g.Reinit(prof, seed); err != nil {
+		releaseSynthetic(g)
+		return nil, err
+	}
+	return g, nil
+}
+
+// releaseSynthetic returns a generator to the free list. Unlike
+// machines, generators may be released after failed runs too: Reinit
+// re-derives every field on the next acquire, so a generator carries no
+// state that could survive into a later run.
+func releaseSynthetic(g *trace.Synthetic) {
+	synthPool.Lock()
+	if len(synthPool.free) < maxFree {
+		synthPool.free = append(synthPool.free, g)
+	}
+	synthPool.Unlock()
+}

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"tlacache/internal/cpu"
+	"tlacache/internal/hierarchy"
+	"tlacache/internal/replacement"
+	"tlacache/internal/telemetry"
+	"tlacache/internal/trace"
+	"tlacache/internal/workload"
+)
+
+// machineModes are the eight hierarchy shapes the alloc regression
+// gates exercise: the inclusive baseline, the three TLA policies, the
+// two non-inclusive dispositions, and the two optional structures
+// (prefetcher, victim cache). Together they reach every Reset path a
+// pooled hierarchy has.
+func machineModes() []struct {
+	name string
+	mut  func(*hierarchy.Config)
+} {
+	return []struct {
+		name string
+		mut  func(*hierarchy.Config)
+	}{
+		{"baseline-inclusive", func(*hierarchy.Config) {}},
+		{"tlh", func(c *hierarchy.Config) { c.TLA = hierarchy.TLATLH }},
+		{"eci", func(c *hierarchy.Config) { c.TLA = hierarchy.TLAECI }},
+		{"qbs", func(c *hierarchy.Config) { c.TLA = hierarchy.TLAQBS }},
+		{"non-inclusive", func(c *hierarchy.Config) { c.Inclusion = hierarchy.NonInclusive }},
+		{"exclusive", func(c *hierarchy.Config) { c.Inclusion = hierarchy.Exclusive }},
+		{"prefetch", func(c *hierarchy.Config) { c.EnablePrefetch = true }},
+		{"victim-cache", func(c *hierarchy.Config) { c.VictimCacheEntries = 32 }},
+	}
+}
+
+// freshMachine builds a machine outside the pool, so reset-equivalence
+// comparisons cannot be perturbed by machines other tests pooled.
+func freshMachine(t *testing.T, cfg Config) *machine {
+	t.Helper()
+	h, err := hierarchy.New(cfg.Hierarchy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cfg.Hierarchy.Cores
+	m := &machine{
+		h:         h,
+		cores:     make([]*cpu.Core, n),
+		gens:      make([]*offsetGen, n),
+		committed: make([]uint64, n),
+		finished:  make([]bool, n),
+		ipcs:      make([]float64, n),
+		apps:      make([]AppResult, n),
+	}
+	for i := 0; i < n; i++ {
+		if m.cores[i], err = cpu.New(cfg.CPU); err != nil {
+			t.Fatal(err)
+		}
+		m.gens[i] = &offsetGen{offset: uint64(i) * coreSpacing}
+	}
+	return m
+}
+
+// runOn drives one run of cfg on m with freshly initialised generators
+// and returns the marshaled windowed results plus traffic.
+func runOn(t *testing.T, cfg Config, m *machine) []byte {
+	t.Helper()
+	streams := make([]trace.Generator, cfg.Hierarchy.Cores)
+	bs := []string{"sje", "lib", "mcf", "xal"}
+	for i := range streams {
+		b, err := workload.ByName(bs[i%len(bs)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := trace.NewSynthetic(b.Profile, cfg.Seed+uint64(i)*0x9e37)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[i] = g
+	}
+	if err := runMachine(cfg, m, streams); err != nil {
+		t.Fatal(err)
+	}
+	out := struct {
+		Apps    []AppResult
+		Traffic hierarchy.Traffic
+	}{m.apps, m.h.Traffic}
+	data, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestResetEquivalence is the reuse-correctness gate behind the machine
+// pool: for all eight machine modes crossed with all nine LLC
+// replacement policies, a machine that already ran a full simulation
+// and was reset the way acquireMachine resets it must reproduce the
+// fresh machine's results byte for byte. Any state that survives
+// hierarchy.Reset or cpu.Core.Reset — cache contents, replacement rank
+// or set-dueling state, prefetcher tables, memoization, telemetry
+// sequence numbers — shows up here as a diff.
+func TestResetEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 144 short simulations")
+	}
+	kinds := []replacement.Kind{
+		replacement.LRU, replacement.NRU, replacement.SRRIP, replacement.Random,
+		replacement.LIP, replacement.BIP, replacement.DIP, replacement.BRRIP, replacement.DRRIP,
+	}
+	for _, mode := range machineModes() {
+		for _, kind := range kinds {
+			t.Run(fmt.Sprintf("%s/%s", mode.name, kind), func(t *testing.T) {
+				cfg := quickConfig(2, 8_000)
+				mode.mut(&cfg.Hierarchy)
+				cfg.Hierarchy.LLCPolicy = kind
+
+				m := freshMachine(t, cfg)
+				fresh := runOn(t, cfg, m)
+
+				// Exactly acquireMachine's reuse path.
+				m.h.Reset()
+				for _, c := range m.cores {
+					c.Reset()
+				}
+				rerun := runOn(t, cfg, m)
+
+				if !bytes.Equal(fresh, rerun) {
+					t.Errorf("reset machine diverged from fresh run:\n--- fresh ---\n%s\n--- rerun ---\n%s",
+						fresh, rerun)
+				}
+			})
+		}
+	}
+}
+
+// TestPooledRunRepeatability pins the public path the experiment sweeps
+// use: repeated RunMix calls with one configuration — the second and
+// third of which run on pooled machines and reinitialised pooled
+// generators — must return byte-identical results.
+func TestPooledRunRepeatability(t *testing.T) {
+	cfg := quickConfig(2, 20_000)
+	cfg.Hierarchy.TLA = hierarchy.TLAQBS
+	mix := workload.Mix{Name: "POOL", Apps: []string{"sje", "mcf"}}
+
+	var first []byte
+	for i := 0; i < 3; i++ {
+		res, err := RunMix(cfg, mix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(res, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = data
+		} else if !bytes.Equal(first, data) {
+			t.Errorf("pooled run %d diverged from the first run:\n--- first ---\n%s\n--- run %d ---\n%s",
+				i+1, first, i+1, data)
+		}
+	}
+}
+
+// epochManifest runs one batch covering every boundary the burst-sizing
+// logic caps against — sampler intervals, invariant checks, audits, the
+// budget crossing, and a finished fast core running past its budget —
+// and returns everything observable: results, sampler series, and the
+// sampler's victim total.
+func epochManifest(t *testing.T, epoch uint64) []byte {
+	t.Helper()
+	cfg := quickConfig(2, 30_000)
+	cfg.Epoch = epoch
+	cfg.Hierarchy.TLA = hierarchy.TLAQBS
+	// Deliberately awkward divisors so boundaries land mid-epoch.
+	cfg.InvariantEvery = 7_001
+	cfg.AuditEvery = 9_973
+	sampler := telemetry.NewSampler(5_003)
+	cfg.Sampler = sampler
+
+	res, err := RunMix(cfg, workload.Mix{Name: "EPOCH", Apps: []string{"sje", "lib"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := struct {
+		Res     MixResult
+		Samples []telemetry.Sample
+		Victims uint64
+	}{res, sampler.Samples(), sampler.TotalInclusionVictims()}
+	data, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestEpochInvariance enforces the epoch-batching correctness argument:
+// the interleave burst length is a pure execution-efficiency knob, so
+// per-instruction bookkeeping (Epoch=1), the default burst, and a burst
+// longer than the whole run must all produce byte-identical results and
+// sampler time series.
+func TestEpochInvariance(t *testing.T) {
+	ref := epochManifest(t, 1)
+	for _, epoch := range []uint64{0, 64, 1024, 1 << 40} {
+		got := epochManifest(t, epoch)
+		if !bytes.Equal(ref, got) {
+			t.Errorf("Epoch=%d diverges from Epoch=1:\n--- epoch 1 ---\n%s\n--- epoch %d ---\n%s",
+				epoch, ref, epoch, got)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"tlacache/internal/hierarchy"
+	"tlacache/internal/replacement"
+	"tlacache/internal/telemetry"
+	"tlacache/internal/workload"
+)
+
+// shardedConfig is a machine the sharded mode accepts: non-inclusive
+// LLC, no TLA policy, per-set replacement.
+func shardedConfig(cores int, instructions uint64) Config {
+	cfg := quickConfig(cores, instructions)
+	cfg.Hierarchy.Inclusion = hierarchy.NonInclusive
+	cfg.Hierarchy.TLA = hierarchy.TLANone
+	return cfg
+}
+
+// TestShardedDeterminism pins the sharded mode's core guarantee: the
+// result is byte-identical for every shard count and every GOMAXPROCS,
+// because the canonical replay order is fixed before partitioning and
+// shards own disjoint sets. shards=1 is the serial reference, so this
+// is also the sharded-vs-serial anchor.
+func TestShardedDeterminism(t *testing.T) {
+	mix := workload.Mix{Name: "SHARD", Apps: []string{"mcf", "sje"}}
+	cfg := shardedConfig(2, 20_000)
+	cfg.Hierarchy.EnablePrefetch = true // exercise the prefetch replay path
+
+	var want []byte
+	for _, procs := range []int{1, 8} {
+		old := runtime.GOMAXPROCS(procs)
+		for _, shards := range []int{1, 2, 3, 8} {
+			res, err := RunMixSharded(cfg, mix, shards)
+			if err != nil {
+				runtime.GOMAXPROCS(old)
+				t.Fatalf("procs=%d shards=%d: %v", procs, shards, err)
+			}
+			data, err := json.MarshalIndent(res, "", " ")
+			if err != nil {
+				runtime.GOMAXPROCS(old)
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = data
+				continue
+			}
+			if !bytes.Equal(want, data) {
+				runtime.GOMAXPROCS(old)
+				t.Fatalf("procs=%d shards=%d diverged from the procs=1 shards=1 reference:\n%s\nvs\n%s",
+					procs, shards, data, want)
+			}
+		}
+		runtime.GOMAXPROCS(old)
+	}
+}
+
+// TestShardedSingleCoreMatchesTimed anchors the replay semantics to
+// the timed simulator: with one core the timed interleave degenerates
+// to instruction order — exactly the sharded mode's canonical order —
+// and timing cannot change functional behaviour (clocks only feed the
+// bank model, which the sharded mode rejects). Every cache counter
+// must therefore match the timed run exactly; only Cycles, IPC, and
+// Throughput — which the sharded mode does not model — may differ.
+func TestShardedSingleCoreMatchesTimed(t *testing.T) {
+	for _, prefetch := range []bool{false, true} {
+		mix := workload.Mix{Name: "ANCHOR", Apps: []string{"mcf"}}
+		cfg := shardedConfig(1, 20_000)
+		cfg.Hierarchy.EnablePrefetch = prefetch
+
+		timed, err := RunMix(cfg, mix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharded, err := RunMixSharded(cfg, mix, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Erase the timing-only fields; everything else must be equal.
+		timed.Throughput = 0
+		for i := range timed.Apps {
+			timed.Apps[i].Cycles = 0
+			timed.Apps[i].IPC = 0
+		}
+		a, err := json.MarshalIndent(timed, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(sharded, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("prefetch=%v: sharded result diverges from the timed single-core run:\ntimed:\n%s\nsharded:\n%s",
+				prefetch, a, b)
+		}
+	}
+}
+
+// TestShardedRepeatability runs the same sharded simulation twice
+// through the machine pools and expects byte-identical results.
+func TestShardedRepeatability(t *testing.T) {
+	mix := workload.Mix{Name: "SHARD", Apps: []string{"sje", "lib"}}
+	cfg := shardedConfig(2, 15_000)
+	var want []byte
+	for round := 0; round < 2; round++ {
+		res, err := RunMixSharded(cfg, mix, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(res, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round == 0 {
+			want = data
+		} else if !bytes.Equal(want, data) {
+			t.Fatalf("round %d diverged:\n%s\nvs\n%s", round, data, want)
+		}
+	}
+}
+
+// TestShardedRejections pins the validation fence: every configuration
+// whose cores are not provably LLC-independent — or whose LLC policy
+// keeps cross-set state — must be refused, not silently missimulated.
+func TestShardedRejections(t *testing.T) {
+	mix := workload.Mix{Name: "SHARD", Apps: []string{"sje", "lib"}}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		shards int
+	}{
+		{"zero shards", func(*Config) {}, 0},
+		{"inclusive", func(c *Config) { c.Hierarchy.Inclusion = hierarchy.Inclusive }, 2},
+		{"exclusive", func(c *Config) { c.Hierarchy.Inclusion = hierarchy.Exclusive }, 2},
+		{"tla qbs", func(c *Config) { c.Hierarchy.TLA = hierarchy.TLAQBS }, 2},
+		{"tla tlh", func(c *Config) { c.Hierarchy.TLA = hierarchy.TLATLH }, 2},
+		{"victim cache", func(c *Config) { c.Hierarchy.VictimCacheEntries = 32 }, 2},
+		{"banked llc", func(c *Config) { c.Hierarchy.LLCBanks = 4 }, 2},
+		{"dip llc", func(c *Config) { c.Hierarchy.LLCPolicy = replacement.DIP }, 2},
+		{"drrip llc", func(c *Config) { c.Hierarchy.LLCPolicy = replacement.DRRIP }, 2},
+		{"random llc", func(c *Config) { c.Hierarchy.LLCPolicy = replacement.Random }, 2},
+		{"probe", func(c *Config) { c.Probe = telemetry.NewRecorder() }, 2},
+		{"sampler", func(c *Config) { c.Sampler = telemetry.NewSampler(1000) }, 2},
+		{"audit", func(c *Config) { c.AuditEvery = 1000 }, 2},
+		{"invariants", func(c *Config) { c.InvariantEvery = 1000 }, 2},
+	}
+	for _, tc := range cases {
+		cfg := shardedConfig(2, 5_000)
+		tc.mutate(&cfg)
+		if _, err := RunMixSharded(cfg, mix, tc.shards); err == nil {
+			t.Errorf("%s: sharded run accepted a configuration it cannot simulate faithfully", tc.name)
+		}
+	}
+	// The fence must not reject what the mode is for.
+	for _, kind := range []replacement.Kind{replacement.LRU, replacement.NRU, replacement.SRRIP, replacement.LIP} {
+		cfg := shardedConfig(2, 5_000)
+		cfg.Hierarchy.LLCPolicy = kind
+		if _, err := RunMixSharded(cfg, mix, 2); err != nil {
+			t.Errorf("%s LLC: %v", kind, err)
+		}
+	}
+}

@@ -91,7 +91,25 @@ type Config struct {
 	//
 	//tlavet:keyexempt pure observer; never changes simulation results
 	Sampler *telemetry.Sampler
+	// Epoch, when positive, overrides the interleave burst length: the
+	// scheduled core executes up to Epoch instructions before the loop
+	// returns to its per-burst bookkeeping (statistics boundaries,
+	// min-cycle bookkeeping). Zero selects defaultEpoch. Every value
+	// produces bit-identical results — bursts break the moment the
+	// running core's clock passes the runner-up and are capped at every
+	// statistics boundary (see the correctness argument at run's burst
+	// sizing, and DESIGN.md §14); TestEpochInvariance pins Epoch=1
+	// against the default byte-for-byte.
+	//
+	//tlavet:keyexempt result-invariant batching knob; every epoch yields byte-identical manifests (TestEpochInvariance)
+	Epoch uint64
 }
+
+// defaultEpoch is the interleave burst length when Config.Epoch is
+// zero: long enough to amortise the per-burst boundary arithmetic to
+// noise, short enough that burst sizing stays irrelevant next to the
+// cycle-driven burst breaks that dominate multi-core interleaving.
+const defaultEpoch = 64
 
 // DefaultConfig is the paper's baseline machine for the given core
 // count with a 2M-instruction budget.
@@ -187,12 +205,21 @@ func RunMix(cfg Config, mix workload.Mix) (MixResult, error) {
 			mix.Name, len(bs), cfg.Hierarchy.Cores)
 	}
 	gens := make([]trace.Generator, len(bs))
+	synths := make([]*trace.Synthetic, len(bs))
 	for i := range bs {
-		if gens[i], err = bs[i].NewGenerator(cfg.Seed + uint64(i)*0x9e37); err != nil {
+		g, err := acquireSynthetic(bs[i].Profile, cfg.Seed+uint64(i)*0x9e37)
+		if err != nil {
+			for _, s := range synths[:i] {
+				releaseSynthetic(s)
+			}
 			return MixResult{}, err
 		}
+		synths[i], gens[i] = g, g
 	}
 	res, err := RunGenerators(cfg, gens)
+	for _, s := range synths {
+		releaseSynthetic(s)
+	}
 	if err != nil {
 		return MixResult{}, err
 	}
@@ -205,39 +232,74 @@ func RunMix(cfg Config, mix workload.Mix) (MixResult, error) {
 // Each stream is shifted into a private per-core address space first,
 // matching the paper's multi-programmed (no sharing) methodology.
 func RunGenerators(cfg Config, streams []trace.Generator) (MixResult, error) {
-	if err := cfg.Validate(); err != nil {
-		return MixResult{}, err
-	}
-	if len(streams) != cfg.Hierarchy.Cores {
-		return MixResult{}, fmt.Errorf("sim: %d streams for %d cores",
-			len(streams), cfg.Hierarchy.Cores)
-	}
-	h, err := hierarchy.New(cfg.Hierarchy)
+	m, err := checkedMachine(cfg, streams)
 	if err != nil {
 		return MixResult{}, err
 	}
+	if err := runMachine(cfg, m, streams); err != nil {
+		return MixResult{}, err
+	}
+	n := cfg.Hierarchy.Cores
+	res := MixResult{
+		Mix:     workload.Mix{Name: "custom", Apps: make([]string, n)},
+		Apps:    make([]AppResult, n),
+		Traffic: m.h.Traffic,
+	}
+	for i := range res.Apps {
+		res.Apps[i] = m.apps[i]
+		res.Mix.Apps[i] = m.apps[i].Benchmark
+		res.LLCMisses += m.apps[i].LLC.Misses
+		res.InclusionVictims += m.apps[i].InclusionVictims
+		m.ipcs[i] = m.apps[i].IPC
+	}
+	res.Throughput = metrics.Throughput(m.ipcs)
+	releaseMachine(m)
+	return res, nil
+}
 
+// checkedMachine validates a run's inputs and acquires its machine.
+func checkedMachine(cfg Config, streams []trace.Generator) (*machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(streams) != cfg.Hierarchy.Cores {
+		return nil, fmt.Errorf("sim: %d streams for %d cores",
+			len(streams), cfg.Hierarchy.Cores)
+	}
+	for i := range streams {
+		if streams[i] == nil {
+			return nil, fmt.Errorf("sim: stream %d is nil", i)
+		}
+	}
+	return acquireMachine(cfg.Hierarchy, cfg.CPU)
+}
+
+// runMachine executes one full run — warmup, counter reset, measured
+// window — on an acquired machine, leaving each core's frozen window in
+// m.apps and the global message accounting in m.h.Traffic. The caller
+// owns the machine: it releases it after copying the results out on
+// success, and abandons it to the garbage collector on error.
+func runMachine(cfg Config, m *machine, streams []trace.Generator) error {
+	h := m.h
 	n := cfg.Hierarchy.Cores
 	// Concrete *offsetGen slice: the per-instruction Next call in the
 	// run loop dispatches directly instead of through trace.Generator.
-	gens := make([]*offsetGen, n)
-	cores := make([]*cpu.Core, n)
-	names := make([]string, n)
+	gens := m.gens
+	cores := m.cores
 	for i := 0; i < n; i++ {
-		if streams[i] == nil {
-			return MixResult{}, fmt.Errorf("sim: stream %d is nil", i)
-		}
-		names[i] = streams[i].Name()
-		gens[i] = &offsetGen{inner: streams[i], offset: uint64(i) * coreSpacing}
-		if cores[i], err = cpu.New(cfg.CPU); err != nil {
-			return MixResult{}, err
-		}
+		gens[i].inner = streams[i]
 	}
 
-	res := MixResult{Mix: workload.Mix{Name: "custom", Apps: names}, Apps: make([]AppResult, n)}
-	committed := make([]uint64, n)
-	finished := make([]bool, n)
+	committed := m.committed
+	finished := m.finished
+	for i := 0; i < n; i++ {
+		committed[i], finished[i] = 0, false
+	}
 	hitLat := cfg.Hierarchy.Latency.L1
+	epoch := cfg.Epoch
+	if epoch == 0 {
+		epoch = defaultEpoch
+	}
 
 	// Telemetry attaches after the warmup reset (see below), so during
 	// warmup both stay disabled. llcLines scales occupancy samples.
@@ -255,7 +317,7 @@ func RunGenerators(cfg Config, streams []trace.Generator) (MixResult, error) {
 	// budget keep executing (and keep competing for the LLC) until the
 	// slowest one arrives; onBudget fires once per core at the
 	// crossing.
-	var in trace.Instr
+	in := &m.in
 	var total uint64
 	var auditor *hierarchy.Auditor // armed after warmup, when AuditEvery > 0
 	run := func(budget uint64, onBudget func(core int)) error {
@@ -288,20 +350,67 @@ func RunGenerators(cfg Config, streams []trace.Generator) (MixResult, error) {
 					}
 				}
 			}
-			gens[c].Next(&in)
-			now := cores[c].Cycle()
-			fetch := h.AccessAt(c, hierarchy.IFetch, in.PC, now)
-			var memLat uint64
-			if in.Op != trace.OpNone {
-				kind := hierarchy.Load
-				if in.Op == trace.OpStore {
-					kind = hierarchy.Store
+			// Epoch-batched execution: core c bursts up to `epoch`
+			// instructions with only the cycle comparison inside the
+			// tight loop; the sampler/invariant/audit/budget modulo
+			// checks move to the burst boundary. Exactness argument:
+			// each boundary check fires on an exact instruction count,
+			// so the burst is capped at the distance to every upcoming
+			// boundary — a boundary can then only land exactly on a
+			// burst end, where the post-burst checks below observe it
+			// under the same conditions, in the same order
+			// (sample → invariant → audit → budget), the per-instruction
+			// loop checked them. A burst that breaks early on the cycle
+			// condition stops short of every boundary, so the post-burst
+			// modulo checks correctly stay silent; the instruction-level
+			// schedule itself is unchanged because the break condition
+			// is the exact per-instruction rescan condition. Every cap
+			// is a distance to a boundary strictly ahead, so b >= 1 and
+			// the loop always progresses.
+			b := epoch
+			if !finished[c] {
+				if d := budget - committed[c]; d < b {
+					b = d
 				}
-				memLat = h.AccessAt(c, kind, in.Addr, now).Latency
+				if sampler != nil {
+					if d := sampler.Every() - committed[c]%sampler.Every(); d < b {
+						b = d
+					}
+				}
 			}
-			cores[c].Instr(fetch.Latency, memLat, hitLat)
-			committed[c]++
-			total++
+			if cfg.InvariantEvery > 0 {
+				if d := cfg.InvariantEvery - total%cfg.InvariantEvery; d < b {
+					b = d
+				}
+			}
+			if auditor != nil {
+				if d := cfg.AuditEvery - total%cfg.AuditEvery; d < b {
+					b = d
+				}
+			}
+			g, core := gens[c], cores[c]
+			for j := uint64(0); j < b; j++ {
+				g.Next(in)
+				now := core.Cycle()
+				fetchLat := hitLat
+				if !h.IFetchMemoHit(c, in.PC) {
+					fetchLat = h.AccessAt(c, hierarchy.IFetch, in.PC, now).Latency
+				}
+				var memLat uint64
+				if in.Op != trace.OpNone {
+					kind := hierarchy.Load
+					if in.Op == trace.OpStore {
+						kind = hierarchy.Store
+					}
+					memLat = h.AccessAt(c, kind, in.Addr, now).Latency
+				}
+				core.Instr(fetchLat, memLat, hitLat)
+				committed[c]++
+				total++
+				if cy := core.Cycle(); cy > runnerVal || (cy == runnerVal && c > runnerIdx) {
+					break
+				}
+			}
 			if sampler != nil && !finished[c] && committed[c]%sampler.Every() == 0 {
 				sample(c)
 			}
@@ -329,7 +438,7 @@ func RunGenerators(cfg Config, streams []trace.Generator) (MixResult, error) {
 
 	if cfg.Warmup > 0 {
 		if err := run(cfg.Warmup, nil); err != nil {
-			return MixResult{}, err
+			return err
 		}
 		// Counters reset; cache, prefetcher, and victim-cache state
 		// carries into the measurement window.
@@ -352,27 +461,15 @@ func RunGenerators(cfg Config, streams []trace.Generator) (MixResult, error) {
 		// probe cross-checks cover exactly the measured traffic.
 		auditor = hierarchy.NewAuditor(h)
 	}
-	if err := run(cfg.Instructions, func(c int) {
+	return run(cfg.Instructions, func(c int) {
 		if sampler != nil {
 			// Flush the final (possibly partial) interval exactly at the
 			// budget crossing; Observe ignores it when the budget landed
 			// on an interval boundary.
 			sample(c)
 		}
-		res.Apps[c] = snapshot(names[c], cores[c], &h.Cores[c], cfg.Instructions)
-	}); err != nil {
-		return MixResult{}, err
-	}
-
-	res.Traffic = h.Traffic
-	ipcs := make([]float64, n)
-	for i, a := range res.Apps {
-		ipcs[i] = a.IPC
-		res.LLCMisses += a.LLC.Misses
-		res.InclusionVictims += a.InclusionVictims
-	}
-	res.Throughput = metrics.Throughput(ipcs)
-	return res, nil
+		m.apps[c] = snapshot(gens[c].Name(), cores[c], &h.Cores[c], cfg.Instructions)
+	})
 }
 
 // snapshot freezes a core's windowed statistics the moment it commits
@@ -410,13 +507,26 @@ func snapshot(name string, core *cpu.Core, cs *hierarchy.CoreStats, instructions
 func RunIsolation(cfg Config, b workload.Benchmark) (AppResult, error) {
 	iso := cfg
 	iso.Hierarchy.Cores = 1
-	g, err := b.NewGenerator(cfg.Seed)
+	g, err := acquireSynthetic(b.Profile, cfg.Seed)
 	if err != nil {
 		return AppResult{}, err
 	}
-	mr, err := RunGenerators(iso, []trace.Generator{g})
+	// Bypass RunGenerators' public-result assembly: the isolation sweeps
+	// behind Table 1 run thousands of these, and the single AppResult is
+	// copied out of the machine's scratch before release, so the hot
+	// path allocates nothing once the pools are warm.
+	streams := [1]trace.Generator{g}
+	m, err := checkedMachine(iso, streams[:])
 	if err != nil {
+		releaseSynthetic(g)
 		return AppResult{}, err
 	}
-	return mr.Apps[0], nil
+	if err := runMachine(iso, m, streams[:]); err != nil {
+		releaseSynthetic(g)
+		return AppResult{}, err
+	}
+	app := m.apps[0]
+	releaseMachine(m)
+	releaseSynthetic(g)
+	return app, nil
 }

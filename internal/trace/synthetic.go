@@ -122,6 +122,12 @@ type Synthetic struct {
 	totalWeight uint64
 	cursors     []int64  // per-component stream cursor
 	bases       []uint64 // per-component skewed region base
+	// comp maps a weight draw in [0, totalWeight) directly to its
+	// component index — the same mapping the cumulative-weight scan in
+	// pickComponent computes, precomputed so the per-access path is one
+	// table load. Nil when the table would be degenerate (single
+	// component) or too large (see maxCompTable).
+	comp []uint16
 
 	// Precomputed magic divisors for every bounded draw in Next, so the
 	// per-instruction path performs no hardware divides. Reductions are
@@ -135,31 +141,87 @@ type Synthetic struct {
 // NewSynthetic builds a generator for prof seeded with seed. Invalid
 // profiles return an error rather than producing garbage streams.
 func NewSynthetic(prof Profile, seed uint64) (*Synthetic, error) {
-	if err := prof.Validate(); err != nil {
+	g := &Synthetic{}
+	if err := g.Reinit(prof, seed); err != nil {
 		return nil, err
 	}
-	g := &Synthetic{prof: prof, seed: seed}
+	return g, nil
+}
+
+// Reinit reconfigures the generator in place for (prof, seed), reusing
+// its slice capacity, and rewinds it. A reinitialised generator is
+// bit-identical to NewSynthetic(prof, seed) — every field, including
+// the seed-derived region skews and magic divisors, is recomputed from
+// the arguments, so generator pooling (internal/sim) can hand any
+// pooled instance to any run without staleness risk.
+func (g *Synthetic) Reinit(prof Profile, seed uint64) error {
+	if err := prof.Validate(); err != nil {
+		return err
+	}
+	g.prof = prof
+	g.seed = seed
+	g.totalWeight = 0
 	for _, c := range prof.Components {
 		g.totalWeight += uint64(c.Weight)
 	}
-	g.cursors = make([]int64, len(prof.Components))
-	g.codeStart = codeBase + skew(seed, len(prof.Components))
-	g.bases = make([]uint64, len(prof.Components))
-	g.wordDivs = make([]divisor, len(prof.Components))
+	n := len(prof.Components)
+	if cap(g.cursors) < n {
+		g.cursors = make([]int64, n)
+	} else {
+		g.cursors = g.cursors[:n]
+	}
+	if cap(g.bases) < n {
+		g.bases = make([]uint64, n)
+	} else {
+		g.bases = g.bases[:n]
+	}
+	if cap(g.wordDivs) < n {
+		g.wordDivs = make([]divisor, n)
+	} else {
+		g.wordDivs = g.wordDivs[:n]
+	}
+	g.codeStart = codeBase + skew(seed, n)
 	for i := range g.bases {
 		g.bases[i] = dataBase + uint64(i)*uint64(componentSpan) + skew(seed, i)
 		if prof.Components[i].Pattern == Random {
 			g.wordDivs[i] = newDivisor(uint64(prof.Components[i].WS) / wordAlign)
+		} else {
+			// A fresh generator's Stream components hold the zero divisor;
+			// clear any residue from a previous profile.
+			g.wordDivs[i] = divisor{}
 		}
 	}
 	g.branchDiv = newDivisor(uint64(prof.BranchEvery))
 	g.codeDiv = newDivisor(uint64(prof.CodeBytes) / instrBytes)
+	g.weightDiv = divisor{}
 	if g.totalWeight > 0 {
 		g.weightDiv = newDivisor(g.totalWeight)
 	}
+	if n > 1 && g.totalWeight <= maxCompTable {
+		if cap(g.comp) < int(g.totalWeight) {
+			g.comp = make([]uint16, g.totalWeight)
+		} else {
+			g.comp = g.comp[:g.totalWeight]
+		}
+		k := 0
+		for i, c := range prof.Components {
+			for j := 0; j < c.Weight; j++ {
+				g.comp[k] = uint16(i)
+				k++
+			}
+		}
+	} else {
+		g.comp = nil
+	}
 	g.Reset()
-	return g, nil
+	return nil
 }
+
+// maxCompTable bounds the draw-to-component table: profile weights are
+// per-ten-thousandths (total 10000), so the bound is never hit by the
+// registered suite; a hand-built profile with enormous weights just
+// falls back to the scan.
+const maxCompTable = 1 << 16
 
 // CodeStart returns the (skewed) base of the instruction footprint.
 func (g *Synthetic) CodeStart() uint64 { return g.codeStart }
@@ -194,36 +256,50 @@ func (g *Synthetic) Reset() {
 //
 //tlavet:hotpath
 func (g *Synthetic) Next(in *Instr) {
-	in.PC = g.pc
+	// Work on register-local copies of the generator's hot state. The
+	// xorshift chain is a serial dependence; when it lives in g.rng every
+	// draw round-trips through memory (the compiler cannot keep it in a
+	// register across the call because g aliases the receiver of the
+	// inlined rng methods). Draw order and values are untouched — only
+	// where the state lives between draws changes.
+	r := g.rng
+	pc := g.pc
+	in.PC = pc
 	// Advance the PC: mostly sequential, occasionally a taken branch to
 	// a random instruction within the code footprint.
-	if g.rng.belowDiv(&g.branchDiv) == 0 {
-		g.pc = g.codeStart + g.rng.belowDiv(&g.codeDiv)*instrBytes
+	if r.belowDiv(&g.branchDiv) == 0 {
+		pc = g.codeStart + r.belowDiv(&g.codeDiv)*instrBytes
 	} else {
-		g.pc += instrBytes
-		if g.pc >= g.codeStart+uint64(g.prof.CodeBytes) {
-			g.pc = g.codeStart
+		pc += instrBytes
+		if pc >= g.codeStart+uint64(g.prof.CodeBytes) {
+			pc = g.codeStart
 		}
 	}
+	g.pc = pc
 
-	if !g.rng.perMille(uint64(g.prof.MemPerMille)) {
+	if !r.perMille(uint64(g.prof.MemPerMille)) {
 		in.Op, in.Addr = OpNone, 0
+		g.rng = r
 		return
 	}
-	if g.rng.perMille(uint64(g.prof.StorePerMille)) {
+	if r.perMille(uint64(g.prof.StorePerMille)) {
 		in.Op = OpStore
 	} else {
 		in.Op = OpLoad
 	}
-	in.Addr = g.dataAddr(g.pickComponent())
+	in.Addr = g.dataAddr(&r, g.pickComponent(&r))
+	g.rng = r
 }
 
-// pickComponent selects a component index by weight.
-func (g *Synthetic) pickComponent() int {
+// pickComponent selects a component index by weight, drawing from r.
+func (g *Synthetic) pickComponent(r *rng) int {
 	if len(g.prof.Components) == 1 {
 		return 0
 	}
-	n := g.rng.belowDiv(&g.weightDiv)
+	n := r.belowDiv(&g.weightDiv)
+	if g.comp != nil {
+		return int(g.comp[n])
+	}
 	for i, c := range g.prof.Components {
 		if n < uint64(c.Weight) {
 			return i
@@ -233,8 +309,8 @@ func (g *Synthetic) pickComponent() int {
 	return len(g.prof.Components) - 1
 }
 
-// dataAddr produces the next address for component i.
-func (g *Synthetic) dataAddr(i int) uint64 {
+// dataAddr produces the next address for component i, drawing from r.
+func (g *Synthetic) dataAddr(r *rng, i int) uint64 {
 	c := &g.prof.Components[i]
 	base := g.bases[i]
 	switch c.Pattern {
@@ -246,6 +322,6 @@ func (g *Synthetic) dataAddr(i int) uint64 {
 		}
 		return base + uint64(off)
 	default: // Random
-		return base + g.rng.belowDiv(&g.wordDivs[i])*wordAlign
+		return base + r.belowDiv(&g.wordDivs[i])*wordAlign
 	}
 }

@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"tlacache/internal/trace"
+)
+
+// TestStreamGolden pins an FNV-1a hash of the first million
+// instructions of representative profiles. The synthetic streams are
+// the study's workloads: any change to the generator's draw sequence —
+// however innocent-looking — silently re-runs every experiment on
+// different programs and detaches the calibrated MPKIs from Table I.
+// Generator refactors (divisor strength reduction, state localisation,
+// component-table lookups) must keep these hashes bit-for-bit; an
+// intentional stream change is a recalibration event and needs DESIGN
+// §2 redone, not just a repin.
+func TestStreamGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hashes 5M generated instructions")
+	}
+	cases := []struct {
+		bench string
+		seed  uint64
+		want  uint64
+	}{
+		{"sje", 42, 0x753949aa4e03d86a},
+		{"lib", 42, 0xcdb44e365e022c5f},
+		{"mcf", 42, 0x6c6c00ea2366be7d},
+		{"xal", 42, 0xebb31f4d90c74a68},
+		{"gob", 42, 0x7fecbbb08e05cead},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.bench, func(t *testing.T) {
+			b, err := ByName(tc.bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := trace.MustSynthetic(b.Profile, tc.seed)
+			h := fnv.New64a()
+			var in trace.Instr
+			var buf [17]byte
+			for i := 0; i < 1_000_000; i++ {
+				g.Next(&in)
+				buf[0] = byte(in.Op)
+				for k := 0; k < 8; k++ {
+					buf[1+k] = byte(in.PC >> (8 * k))
+					buf[9+k] = byte(in.Addr >> (8 * k))
+				}
+				h.Write(buf[:])
+			}
+			if got := h.Sum64(); got != tc.want {
+				t.Errorf("stream hash drifted: got %#x, want %#x — the generator no longer produces the calibrated workload", got, tc.want)
+			}
+		})
+	}
+}
