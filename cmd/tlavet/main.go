@@ -12,7 +12,8 @@
 //	floatcmp           no ==/!= on floats in metrics/experiments
 //	hotpath            no heap allocation reachable from //tlavet:hotpath
 //	                   roots (interprocedural, call chains in findings)
-//	lockdiscipline     runner/telemetry mutex discipline
+//	lockdiscipline     runner/telemetry/service/sim/decision mutex
+//	                   discipline
 //	detflow            no nondeterministic value or ordering flows into a
 //	                   //tlavet:detsink function (interprocedural taint,
 //	                   source→sink chains in findings)
@@ -20,6 +21,16 @@
 //	                   is encoded or carries //tlavet:keyexempt <reason>
 //	exhaustive         switches over //tlavet:exhaustive enum types name
 //	                   every constant (a default arm does not satisfy)
+//	resetcover         every field reachable from a //tlavet:resetcover'd
+//	                   reset method's receiver is restored or carries
+//	                   //tlavet:resetexempt <reason>
+//	gatecover          every field of the types a //tlavet:gatecover'd
+//	                   mode gate names is examined by the gate or carries
+//	                   //tlavet:gateexempt <reason>
+//	llcwrite           capture-phase-reachable code mutates
+//	                   //tlavet:llcstate fields only inside the
+//	                   //tlavet:llcaccessor set (rogue writes would make
+//	                   the captured LLCOpSink stream incomplete)
 //
 // Usage:
 //

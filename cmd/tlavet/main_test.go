@@ -138,6 +138,12 @@ func TestRunList(t *testing.T) {
 		if !strings.Contains(out, a.Name) {
 			t.Errorf("-list output lacks check %q:\n%s", a.Name, out)
 		}
+		if a.Doc == "" {
+			t.Errorf("check %q registers with an empty Doc", a.Name)
+		}
+		if a.Help == "" {
+			t.Errorf("check %q registers with no Help text (required for SARIF rule metadata)", a.Name)
+		}
 	}
 	if !strings.Contains(out, "[default, module]") {
 		t.Errorf("-list does not mark any interprocedural check:\n%s", out)

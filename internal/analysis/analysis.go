@@ -57,6 +57,10 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description for `tlavet -list`.
 	Doc string
+	// Help is the longer remediation guidance rendered into the SARIF
+	// rule metadata (fullDescription and help). Every registered check
+	// must set it — the rule-parity test enforces this.
+	Help string
 	// Default reports whether the check runs when -checks selects "all".
 	// Every check can still be selected explicitly by name.
 	Default bool
@@ -261,6 +265,9 @@ func Analyzers() []*Analyzer {
 		DetflowAnalyzer,
 		KeycoverAnalyzer,
 		ExhaustiveAnalyzer,
+		ResetcoverAnalyzer,
+		GatecoverAnalyzer,
+		LLCWriteAnalyzer,
 	}
 }
 

@@ -24,6 +24,9 @@ var fixtureCases = []struct {
 	{DetflowAnalyzer, "detflow", "tlacache/internal/detflow"},
 	{KeycoverAnalyzer, "keycover", "tlacache/internal/keycover"},
 	{ExhaustiveAnalyzer, "exhaustive", "tlacache/internal/exhaustive"},
+	{ResetcoverAnalyzer, "resetcover", "tlacache/internal/resetcover"},
+	{GatecoverAnalyzer, "gatecover", "tlacache/internal/gatecover"},
+	{LLCWriteAnalyzer, "llcwrite", "tlacache/internal/llcwrite"},
 }
 
 // TestGoldenFixtures checks every analyzer against its fixture: each
@@ -53,6 +56,8 @@ func TestLockDisciplineScope(t *testing.T) {
 		"tlacache/internal/service":       true,
 		"tlacache/internal/service/api":   true,
 		"tlacache/internal/service/cache": true,
+		"tlacache/internal/sim":           true,
+		"tlacache/internal/decision":      true,
 		"tlacache/internal/metrics":       false,
 	} {
 		pkg, err := LoadDir(filepath.Join("testdata", "lockdiscipline"), path)

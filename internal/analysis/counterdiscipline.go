@@ -15,8 +15,12 @@ import (
 // results. Whole-struct resets (h.Traffic = Traffic{}) stay legal
 // because they name the struct, not a counter.
 var CounterDisciplineAnalyzer = &Analyzer{
-	Name:    "counterdiscipline",
-	Doc:     "Traffic/Recorder counter fields may only be incremented (++/+=) outside Reset",
+	Name: "counterdiscipline",
+	Doc:  "Traffic/Recorder counter fields may only be incremented (++/+=) outside Reset",
+	Help: "Conserved event counters are append-only evidence: decrementing or " +
+		"overwriting one outside a Reset method silently unbalances the " +
+		"traffic invariants the auditor checks. Use ++/+= for event counts " +
+		"and confine wholesale zeroing to Reset.",
 	Default: true,
 	Run:     runCounterDiscipline,
 }

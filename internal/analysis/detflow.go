@@ -37,8 +37,12 @@ import (
 // an annotation of the execution, not simulated output). Taint cleared
 // by an explicit sort (sort.* / slices.Sort*) is considered laundered.
 var DetflowAnalyzer = &Analyzer{
-	Name:      "detflow",
-	Doc:       "no nondeterministic value or ordering may flow into a //tlavet:detsink function",
+	Name: "detflow",
+	Doc:  "no nondeterministic value or ordering may flow into a //tlavet:detsink function",
+	Help: "A //tlavet:detsink function's output bytes are part of the " +
+		"determinism contract. Remove the tainted source (map iteration " +
+		"order, channel select, time) from the dataflow, or sort/serialise " +
+		"the value before it reaches the sink.",
 	Default:   true,
 	RunModule: runDetflow,
 }

@@ -30,8 +30,11 @@ import (
 // A deliberately partial switch is suppressed in place with
 // `//tlavet:allow exhaustive <reason>`.
 var ExhaustiveAnalyzer = &Analyzer{
-	Name:      "exhaustive",
-	Doc:       "switches over //tlavet:exhaustive enum types name every declared constant",
+	Name: "exhaustive",
+	Doc:  "switches over //tlavet:exhaustive enum types name every declared constant",
+	Help: "A switch over a //tlavet:exhaustive enum that misses a constant " +
+		"silently ignores new variants. Add the missing case, or an explicit " +
+		"default that panics with a package-prefixed message.",
 	Default:   true,
 	RunModule: runExhaustive,
 }

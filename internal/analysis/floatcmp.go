@@ -13,8 +13,11 @@ import (
 // comparison is built from. The check covers internal/metrics and
 // internal/experiments, where every float is a result value.
 var FloatCmpAnalyzer = &Analyzer{
-	Name:    "floatcmp",
-	Doc:     "no == or != on float expressions in internal/metrics and internal/experiments",
+	Name: "floatcmp",
+	Doc:  "no == or != on float expressions in internal/metrics and internal/experiments",
+	Help: "Exact float equality makes metric comparisons depend on summation " +
+		"order. Compare with an explicit epsilon, or restructure to integer " +
+		"counters.",
 	Default: true,
 	Run:     runFloatCmp,
 }

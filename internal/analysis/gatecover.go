@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// GatecoverAnalyzer is the static coverage proof behind mode gates:
+// a validator that decides whether a restricted execution mode can
+// faithfully simulate a configuration must examine every field of that
+// configuration, or exempt it with a reason. The motivating gate is
+// sim.validateSharded: the sharded LLC mode only supports a slice of
+// the config space, and a new knob added to sim.Config or
+// hierarchy.Config must be explicitly accepted (read and compared) or
+// rejected by the gate before it can silently change what a "faithful"
+// sharded run means.
+//
+// A gate declares what it covers in its doc comment:
+//
+//	//tlavet:gatecover sim.Config
+//
+// The named struct and every module-local struct reachable through its
+// non-exempt fields become tracked. A field is examined when the gate's
+// body selects it (aliasing through locals works — matching is
+// type-based), or when a whole value of its struct type is passed to
+// another gate annotated for that type. Fields the gate need not look
+// at carry, at their declaration:
+//
+//	//tlavet:gateexempt <reason>
+//
+// An exemption whose field IS examined is reported as stale, so the
+// justified-ignorance set can only shrink.
+var GatecoverAnalyzer = &Analyzer{
+	Name: "gatecover",
+	Doc:  "every field of a //tlavet:gatecover'd config is examined by the gate or //tlavet:gateexempt'd",
+	Help: "A mode gate must accept or reject every configuration knob. Read and " +
+		"compare the new field in the annotated validator (or pass the value to a " +
+		"gate annotated for its type), or annotate the field //tlavet:gateexempt " +
+		"<reason> when any value is faithful in the gated mode.",
+	Default:   true,
+	RunModule: runGatecover,
+}
+
+const (
+	directiveGatecover  = "//tlavet:gatecover"
+	directiveGateexempt = "//tlavet:gateexempt"
+)
+
+func runGatecover(mp *ModulePass) {
+	m := mp.Module
+	structs := collectCoverIndex(mp, directiveGateexempt)
+	g := buildCallGraph(m)
+
+	// Gather annotated gates in deterministic order.
+	type target struct {
+		pkg  *Package
+		decl *ast.FuncDecl
+		fn   *types.Func
+		refs []string
+		pos  token.Pos
+	}
+	var targets []target
+	gateFor := make(map[*types.Func]map[string]bool) // gate → covered type keys
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil || fd.Body == nil {
+					continue
+				}
+				var refs []string
+				var dirPos token.Pos
+				for _, c := range fd.Doc.List {
+					rest, ok := strings.CutPrefix(c.Text, directiveGatecover)
+					if !ok || (rest != "" && !strings.HasPrefix(rest, " ")) {
+						continue
+					}
+					args := strings.Fields(rest)
+					if len(args) == 0 {
+						mp.Report(fd.Name.Pos(), "gatecover directive names no type",
+							"write //tlavet:gatecover <Type> or <pkg>.<Type>", nil)
+						continue
+					}
+					refs = append(refs, args...)
+					dirPos = c.Pos()
+				}
+				if len(refs) == 0 {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				t := target{pkg: pkg, decl: fd, fn: canonical(fn), refs: refs, pos: dirPos}
+				targets = append(targets, t)
+				keys := make(map[string]bool)
+				for _, ref := range t.refs {
+					if key, errMsg := resolveTypeRef(m, pkg, ref, "gatecover"); errMsg == "" {
+						keys[key] = true
+					}
+				}
+				gateFor[t.fn] = keys
+			}
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].pos < targets[j].pos })
+
+	for _, t := range targets {
+		chain := entryChain(g, t.fn)
+		var roots []string
+		for _, ref := range t.refs {
+			key, errMsg := resolveTypeRef(m, t.pkg, ref, "gatecover")
+			if errMsg != "" {
+				mp.Report(t.decl.Name.Pos(), errMsg, "name a struct type declared in this module", chain)
+				continue
+			}
+			if _, ok := structs[key]; !ok {
+				mp.Report(t.decl.Name.Pos(), "gatecover target "+ref+" is not a struct type",
+					"name a struct type declared in this module", chain)
+				continue
+			}
+			roots = append(roots, key)
+		}
+		if len(roots) == 0 {
+			continue
+		}
+		checkGateCoverage(mp, g, structs, gateFor, t.pkg, t.decl, displayName(t.fn), roots, chain)
+	}
+}
+
+// checkGateCoverage verifies one gate against its tracked types.
+func checkGateCoverage(mp *ModulePass, g *callGraph, structs map[string]*scType,
+	gateFor map[*types.Func]map[string]bool, pkg *Package, decl *ast.FuncDecl,
+	gate string, roots []string, chain []string) {
+
+	modulePkgs := modulePackageSet(mp.Module)
+
+	// Expand the tracked set through non-exempt struct fields.
+	tracked := make(map[string]bool)
+	work := append([]string(nil), roots...)
+	for len(work) > 0 {
+		key := work[0]
+		work = work[1:]
+		if tracked[key] {
+			continue
+		}
+		kt, ok := structs[key]
+		if !ok {
+			continue
+		}
+		tracked[key] = true
+		for _, f := range kt.fields {
+			if f.exempt || f.structKey == "" || f.indirect {
+				continue
+			}
+			if _, ok := structs[f.structKey]; ok {
+				work = append(work, f.structKey)
+			}
+		}
+	}
+
+	// Scan the gate body: selector reads and whole-value delegation to
+	// another annotated gate.
+	selSites := make(map[string][]token.Pos)
+	wholesale := make(map[string]bool)
+	var markWholesale func(key string)
+	markWholesale = func(key string) {
+		if key == "" || wholesale[key] {
+			return
+		}
+		wholesale[key] = true
+		kt, ok := structs[key]
+		if !ok {
+			return
+		}
+		for _, f := range kt.fields {
+			if f.exempt || f.structKey == "" {
+				continue
+			}
+			markWholesale(f.structKey)
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			t, ok := pkg.TypeOfExpr(n.X)
+			if !ok {
+				return true
+			}
+			key := structKeyOf(t, modulePkgs)
+			if key == "" || !tracked[key] {
+				return true
+			}
+			fk := key + "." + n.Sel.Name
+			selSites[fk] = append(selSites[fk], n.Sel.Pos())
+		case *ast.CallExpr:
+			var covered map[string]bool
+			for _, callee := range g.callees(pkg, n) {
+				if keys := gateFor[callee]; len(keys) > 0 {
+					if covered == nil {
+						covered = make(map[string]bool)
+					}
+					for k := range keys {
+						covered[k] = true
+					}
+				}
+			}
+			if covered == nil {
+				return true
+			}
+			for _, arg := range n.Args {
+				t, ok := pkg.TypeOfExpr(arg)
+				if !ok {
+					continue
+				}
+				key := structKeyOf(t, modulePkgs)
+				if key != "" && tracked[key] && covered[key] {
+					markWholesale(key)
+				}
+			}
+		}
+		return true
+	})
+
+	// Report in deterministic tracked-type order.
+	keys := make([]string, 0, len(tracked))
+	for k := range tracked {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		kt := structs[key]
+		for _, f := range kt.fields {
+			fk := key + "." + f.name
+			display := kt.display + "." + f.name
+			sites := selSites[fk]
+			if f.exempt {
+				if len(sites) > 0 {
+					mp.Report(f.pos,
+						"stale //tlavet:gateexempt: field "+display+" IS examined by "+gate,
+						"drop the exemption or stop examining the field", chain)
+				}
+				continue
+			}
+			if len(sites) > 0 || wholesale[key] {
+				continue
+			}
+			mp.Report(f.pos,
+				"field "+display+" is never examined by "+gate+
+					" and has no //tlavet:gateexempt (via "+strings.Join(chain, " → ")+")",
+				"accept or reject the field in "+gate+", or annotate //tlavet:gateexempt <reason>",
+				chain)
+		}
+	}
+}

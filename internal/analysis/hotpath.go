@@ -18,8 +18,13 @@ import (
 // cache's capacity-limited appends — are suppressed in place with
 // `//tlavet:allow hotpath <reason>`.
 var HotPathAnalyzer = &Analyzer{
-	Name:      "hotpath",
-	Doc:       "no heap-allocating construct reachable from //tlavet:hotpath roots",
+	Name: "hotpath",
+	Doc:  "no heap-allocating construct reachable from //tlavet:hotpath roots",
+	Help: "The steady-state access path is benchmarked at 0 allocs/op; any " +
+		"construct that may allocate on a path reachable from a " +
+		"//tlavet:hotpath root regresses that budget. Hoist the allocation to " +
+		"setup, reuse a scratch buffer, or suppress a provably bounded site " +
+		"with //tlavet:allow hotpath <reason>.",
 	Default:   true,
 	RunModule: runHotPath,
 }

@@ -38,8 +38,12 @@ import (
 // chain from the nearest exported function into the encoder, so the
 // report shows how the incomplete encoding is reached.
 var KeycoverAnalyzer = &Analyzer{
-	Name:      "keycover",
-	Doc:       "every field of a //tlavet:keycover'd struct is encoded or //tlavet:keyexempt'd",
+	Name: "keycover",
+	Doc:  "every field of a //tlavet:keycover'd struct is encoded or //tlavet:keyexempt'd",
+	Help: "The content-addressed result cache is only sound if the cache key " +
+		"covers every result-affecting field. Encode the new field in the " +
+		"annotated encoder (and bump the key version), or annotate it " +
+		"//tlavet:keyexempt <reason> when it cannot affect results.",
 	Default:   true,
 	RunModule: runKeycover,
 }
@@ -127,7 +131,7 @@ func runKeycover(mp *ModulePass) {
 		// Resolve the directive's type references against the module.
 		var roots []string
 		for _, ref := range t.refs {
-			key, err := resolveTypeRef(m, t.pkg, ref)
+			key, err := resolveTypeRef(m, t.pkg, ref, "keycover")
 			if err != "" {
 				mp.Report(t.decl.Name.Pos(), err, "name a struct type declared in this module", chain)
 				continue
@@ -170,8 +174,9 @@ func entryChain(g *callGraph, fn *types.Func) []string {
 // resolveTypeRef resolves "[pkg.]Type" to a tracked-type key. The
 // package part matches a module package NAME (not path); unqualified
 // references resolve in the annotated function's own package. The
-// second return is a non-empty error message when resolution fails.
-func resolveTypeRef(m *Module, pkg *Package, ref string) (string, string) {
+// second return is a non-empty error message (prefixed with the
+// calling check's name) when resolution fails.
+func resolveTypeRef(m *Module, pkg *Package, ref, check string) (string, string) {
 	if pkgName, typeName, ok := strings.Cut(ref, "."); ok {
 		var paths []string
 		for _, p := range m.Pkgs {
@@ -183,7 +188,7 @@ func resolveTypeRef(m *Module, pkg *Package, ref string) (string, string) {
 		for _, path := range paths {
 			return path + "." + typeName, ""
 		}
-		return "", "keycover: no module package named " + pkgName + " (in " + ref + ")"
+		return "", check + ": no module package named " + pkgName + " (in " + ref + ")"
 	}
 	return pkg.Path + "." + ref, ""
 }

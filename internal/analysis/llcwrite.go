@@ -1,0 +1,389 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LLCWriteAnalyzer is the containment proof behind the sharded LLC
+// mode: during the capture phase, every mutation of LLC-owned state
+// must happen inside a small annotated accessor set — the functions
+// that announce the operation through hierarchy.LLCOpSink before
+// touching the LLC. The replay phase reconstructs LLC contents purely
+// from the captured operation stream, so a capture-phase write that
+// bypasses the sink is state the replay can never see: a silent
+// divergence between sharded and timed results. llcwrite turns that
+// contract into a build failure.
+//
+// Three directives define the proof:
+//
+//	//tlavet:llcstate              on a field declaration: the field is
+//	                               LLC-owned (hierarchy.Hierarchy's llc
+//	                               and vc)
+//	//tlavet:llccapture            on the capture-phase entry point
+//	                               (sim.captureCore); reachability BFS
+//	                               starts here
+//	//tlavet:llcaccessor <reason>  on each function where mutation is
+//	                               legal; the reason records how the
+//	                               mutation is announced to the sink
+//
+// In every function reachable from a capture root and not in the
+// accessor set, two shapes are findings, each carrying the root→site
+// call chain: a direct write whose lvalue passes through an llcstate
+// field, and a method call on an llcstate field whose callee mutates
+// its receiver (classified by a module-wide fixpoint over receiver-
+// rooted writes and calls; unresolvable callees count as mutating).
+// Accessors that no longer touch LLC state are reported as stale, and
+// a reasonless accessor directive exempts nothing.
+var LLCWriteAnalyzer = &Analyzer{
+	Name: "llcwrite",
+	Doc:  "capture-phase code mutates //tlavet:llcstate fields only inside //tlavet:llcaccessor functions",
+	Help: "The sharded replay reconstructs the LLC from the LLCOpSink stream, so a " +
+		"capture-phase mutation outside the accessor set silently diverges the two " +
+		"modes. Route the write through an existing accessor, or make the function " +
+		"an accessor itself — fire the sink first, then annotate it " +
+		"//tlavet:llcaccessor <reason>.",
+	Default:   true,
+	RunModule: runLLCWrite,
+}
+
+const (
+	directiveLLCState    = "//tlavet:llcstate"
+	directiveLLCCapture  = "//tlavet:llccapture"
+	directiveLLCAccessor = "//tlavet:llcaccessor"
+)
+
+func runLLCWrite(mp *ModulePass) {
+	m := mp.Module
+	modulePkgs := modulePackageSet(m)
+
+	owned := collectLLCStateFields(m)
+	if len(owned) == 0 {
+		return
+	}
+	g := buildCallGraph(m)
+	accessors := collectLLCAccessors(mp, g)
+	mutators := classifyMutators(g)
+
+	// Stale-accessor pass: an accessor must still mutate LLC-owned
+	// state somewhere in its body, or the annotation is dead weight.
+	accessorFns := make([]*types.Func, 0, len(accessors))
+	for fn := range accessors {
+		accessorFns = append(accessorFns, fn)
+	}
+	sort.Slice(accessorFns, func(i, j int) bool {
+		a, b := displayName(accessorFns[i]), displayName(accessorFns[j])
+		if a != b {
+			return a < b
+		}
+		return accessorFns[i].Pos() < accessorFns[j].Pos()
+	})
+	for _, fn := range accessorFns {
+		n := g.nodes[fn]
+		if n == nil {
+			continue
+		}
+		if len(llcViolations(n, owned, mutators, modulePkgs, g)) == 0 {
+			mp.Report(n.decl.Name.Pos(),
+				"stale //tlavet:llcaccessor: "+displayName(fn)+" neither writes nor mutates LLC-owned state",
+				"delete the directive; the accessor set may only shrink", nil)
+		}
+	}
+
+	roots := g.annotatedRoots(directiveLLCCapture)
+	if len(roots) == 0 {
+		return
+	}
+	chains := g.reachableFrom(roots)
+	nodes := make([]*cgNode, 0, len(chains))
+	for n := range chains {
+		nodes = append(nodes, n)
+	}
+	sortNodes(nodes)
+	for _, n := range nodes {
+		if accessors[n.fn] {
+			continue
+		}
+		for _, v := range llcViolations(n, owned, mutators, modulePkgs, g) {
+			mp.Report(v.pos, v.msg+" via "+strings.Join(chains[n], " → "),
+				"route the mutation through a //tlavet:llcaccessor function that fires LLCOpSink, "+
+					"or annotate this function //tlavet:llcaccessor <reason>",
+				chains[n])
+		}
+	}
+}
+
+// collectLLCStateFields gathers the //tlavet:llcstate field
+// declarations as a (type key → field name) set.
+func collectLLCStateFields(m *Module) map[string]map[string]bool {
+	owned := make(map[string]map[string]bool)
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					key := pkg.Path + "." + ts.Name.Name
+					for _, field := range st.Fields.List {
+						if !hasDirective(field.Doc, directiveLLCState) &&
+							!hasDirective(field.Comment, directiveLLCState) {
+							continue
+						}
+						if owned[key] == nil {
+							owned[key] = make(map[string]bool)
+						}
+						for _, name := range field.Names {
+							owned[key][name.Name] = true
+						}
+						if len(field.Names) == 0 {
+							if name := embeddedFieldName(field.Type); name != "" {
+								owned[key][name] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return owned
+}
+
+// collectLLCAccessors gathers the //tlavet:llcaccessor set. A
+// directive without a reason is reported and exempts nothing.
+func collectLLCAccessors(mp *ModulePass, g *callGraph) map[*types.Func]bool {
+	accessors := make(map[*types.Func]bool)
+	for _, pkg := range mp.Module.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					rest, ok := strings.CutPrefix(c.Text, directiveLLCAccessor)
+					if !ok || (rest != "" && !strings.HasPrefix(rest, " ")) {
+						continue
+					}
+					if len(strings.Fields(rest)) == 0 {
+						mp.Report(fd.Name.Pos(), "llcaccessor directive has no reason",
+							"write //tlavet:llcaccessor <reason> recording how the mutation reaches LLCOpSink", nil)
+						continue
+					}
+					if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						accessors[canonical(fn)] = true
+					}
+				}
+			}
+		}
+	}
+	return accessors
+}
+
+// classifyMutators computes, by fixpoint over the call graph, the set
+// of module methods that mutate their receiver: a method mutates iff
+// it writes through a receiver-rooted lvalue, or calls a mutating
+// method on a receiver-rooted expression (interface calls fan out to
+// every implementation, so one mutating implementation taints the
+// call). Package-level functions are not classified — state can only
+// reach them as arguments, which the llcstate field check catches at
+// the call site's selector.
+func classifyMutators(g *callGraph) map[*types.Func]bool {
+	mutating := make(map[*types.Func]bool)
+	// deps[callee] lists methods whose mutation status depends on
+	// callee's (they call callee on a receiver-rooted expression).
+	deps := make(map[*types.Func][]*types.Func)
+	var work []*types.Func
+
+	for fn, n := range g.nodes {
+		recv := receiverObject(n)
+		if recv == nil {
+			continue
+		}
+		direct := false
+		ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+			switch node := node.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range node.Lhs {
+					if rootedAt(n.pkg, lhs, recv) {
+						direct = true
+					}
+				}
+			case *ast.IncDecStmt:
+				if rootedAt(n.pkg, node.X, recv) {
+					direct = true
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(node.Fun).(*ast.Ident); ok && id.Name == "clear" && len(node.Args) == 1 {
+					if _, isBuiltin := n.pkg.Info.Uses[id].(*types.Builtin); isBuiltin && rootedAt(n.pkg, node.Args[0], recv) {
+						direct = true
+					}
+					return true
+				}
+				sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr)
+				if !ok || !rootedAt(n.pkg, sel.X, recv) {
+					return true
+				}
+				for _, callee := range g.callees(n.pkg, node) {
+					deps[callee] = append(deps[callee], fn)
+				}
+			}
+			return true
+		})
+		if direct && !mutating[fn] {
+			mutating[fn] = true
+			work = append(work, fn)
+		}
+	}
+	for len(work) > 0 {
+		fn := work[0]
+		work = work[1:]
+		for _, dep := range deps[fn] {
+			if !mutating[dep] {
+				mutating[dep] = true
+				work = append(work, dep)
+			}
+		}
+	}
+	return mutating
+}
+
+// receiverObject returns the declared receiver variable of n, or nil
+// for package functions and unnamed receivers.
+func receiverObject(n *cgNode) *types.Var {
+	if n.decl.Recv == nil || len(n.decl.Recv.List) == 0 {
+		return nil
+	}
+	names := n.decl.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return nil
+	}
+	v, _ := n.pkg.Info.Defs[names[0]].(*types.Var)
+	return v
+}
+
+// rootedAt reports whether expr's base — after stripping selectors,
+// indexing, dereferences, and parens — is a use of the given variable.
+func rootedAt(pkg *Package, expr ast.Expr, v *types.Var) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.Ident:
+			return pkg.Info.Uses[e] == v
+		default:
+			return false
+		}
+	}
+}
+
+// llcViolation is one site where LLC-owned state is mutated.
+type llcViolation struct {
+	pos token.Pos
+	msg string
+}
+
+// llcViolations scans one function body for mutations of llcstate
+// fields: direct writes through an owned field, and mutating method
+// calls whose receiver chain passes through one.
+func llcViolations(n *cgNode, owned map[string]map[string]bool,
+	mutators map[*types.Func]bool, modulePkgs map[string]bool, g *callGraph) []llcViolation {
+
+	var out []llcViolation
+	// ownedSelector returns the display of the first llcstate field on
+	// expr's base chain, or "".
+	ownedSelector := func(expr ast.Expr) (string, token.Pos) {
+		for {
+			switch e := expr.(type) {
+			case *ast.ParenExpr:
+				expr = e.X
+			case *ast.IndexExpr:
+				expr = e.X
+			case *ast.StarExpr:
+				expr = e.X
+			case *ast.SelectorExpr:
+				if t, ok := n.pkg.TypeOfExpr(e.X); ok {
+					if key := structKeyOf(t, modulePkgs); key != "" && owned[key][e.Sel.Name] {
+						short := key[strings.LastIndexByte(key, '/')+1:]
+						return short + "." + e.Sel.Name, e.Sel.Pos()
+					}
+				}
+				expr = e.X
+			default:
+				return "", token.NoPos
+			}
+		}
+	}
+
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				if field, pos := ownedSelector(lhs); field != "" {
+					out = append(out, llcViolation{pos,
+						"write to LLC-owned state " + field + " outside the //tlavet:llcaccessor set"})
+				}
+			}
+		case *ast.IncDecStmt:
+			if field, pos := ownedSelector(node.X); field != "" {
+				out = append(out, llcViolation{pos,
+					"write to LLC-owned state " + field + " outside the //tlavet:llcaccessor set"})
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(node.Fun).(*ast.Ident); ok && id.Name == "clear" && len(node.Args) == 1 {
+				if _, isBuiltin := n.pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					if field, pos := ownedSelector(node.Args[0]); field != "" {
+						out = append(out, llcViolation{pos,
+							"write to LLC-owned state " + field + " outside the //tlavet:llcaccessor set"})
+					}
+					return true
+				}
+			}
+			sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := n.pkg.Info.Selections[sel]
+			if !ok || s.Kind() != types.MethodVal {
+				return true
+			}
+			field, _ := ownedSelector(sel.X)
+			if field == "" {
+				return true
+			}
+			callees := g.callees(n.pkg, node)
+			mutates := len(callees) == 0 // unresolvable: assume the worst
+			for _, callee := range callees {
+				if mutators[callee] {
+					mutates = true
+					break
+				}
+			}
+			if mutates {
+				out = append(out, llcViolation{node.Pos(),
+					"call to " + sel.Sel.Name + " mutates LLC-owned state " + field +
+						" outside the //tlavet:llcaccessor set"})
+			}
+		}
+		return true
+	})
+	return out
+}

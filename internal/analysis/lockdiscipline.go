@@ -7,9 +7,11 @@ import (
 
 // LockDisciplineAnalyzer polices the packages that run concurrent
 // code — internal/runner (the parallel job engine), internal/telemetry
-// (live introspection), and internal/service (the tlacached daemon's
-// job registry, result cache, and admission control) — for the
-// mistakes that race detectors only catch when the schedule
+// (live introspection), internal/service (the tlacached daemon's
+// job registry, result cache, and admission control), internal/sim
+// (the machine/generator free lists and the sharded fan-out), and
+// internal/decision (trace readers shared by tlatrace workers) — for
+// the mistakes that race detectors only catch when the schedule
 // cooperates:
 //
 //   - writes to fields of a mutex-owning struct (one with a sync.Mutex
@@ -31,14 +33,18 @@ import (
 // schedules, so the enclosing method's lock state says nothing about
 // theirs.
 var LockDisciplineAnalyzer = &Analyzer{
-	Name:    "lockdiscipline",
-	Doc:     "runner/telemetry/service: field writes need the owning mutex, no sends under lock, no mutex copies",
+	Name: "lockdiscipline",
+	Doc:  "runner/telemetry/service/sim/decision: field writes need the owning mutex, no sends under lock, no mutex copies",
+	Help: "In the concurrent packages, a field owned by a mutex may only be " +
+		"touched with the mutex held, channel sends must not happen under a " +
+		"lock, and mutex-bearing structs must not be copied. Move the access " +
+		"inside the Lock/Unlock window or hand the value off outside it.",
 	Default: true,
 	Run:     runLockDiscipline,
 }
 
 func runLockDiscipline(pass *Pass) {
-	if !pathInPackages(pass.Pkg.Path, "runner", "telemetry", "service") {
+	if !pathInPackages(pass.Pkg.Path, "runner", "telemetry", "service", "sim", "decision") {
 		return
 	}
 	for _, f := range pass.Pkg.Files {

@@ -12,8 +12,11 @@ import (
 // consult wall clocks or global random sources, and may not mutate
 // simulation state (or append to output) in map iteration order.
 var NondeterminismAnalyzer = &Analyzer{
-	Name:    "nondeterminism",
-	Doc:     "forbid time.Now, math/rand, and state-mutating map iteration in simulation packages",
+	Name: "nondeterminism",
+	Doc:  "forbid time.Now, math/rand, and state-mutating map iteration in simulation packages",
+	Help: "Simulation results must replay byte-identically. Replace time.Now " +
+		"and math/rand with the seeded generators, and iterate maps through " +
+		"sorted keys when the order can reach simulation state.",
 	Default: true,
 	Run:     runNondeterminism,
 }

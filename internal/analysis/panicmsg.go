@@ -13,8 +13,11 @@ import (
 // the package name ("cache: ...") and may never re-throw a bare error
 // value (panic(err)) that loses that context.
 var PanicMsgAnalyzer = &Analyzer{
-	Name:    "panicmsg",
-	Doc:     "panics in internal/ must carry a package-prefixed message, never a bare panic(err)",
+	Name: "panicmsg",
+	Doc:  "panics in internal/ must carry a package-prefixed message, never a bare panic(err)",
+	Help: "A bare panic(err) loses the failing subsystem. Wrap the message with " +
+		"the package prefix (panic(\"cache: ...\")) so failures attribute " +
+		"themselves.",
 	Default: true,
 	Run:     runPanicMsg,
 }

@@ -15,8 +15,11 @@ import (
 // both panics when telemetry is off and signals that a new fire site
 // skipped the guard convention.
 var ProbeGuardAnalyzer = &Analyzer{
-	Name:    "probeguard",
-	Doc:     "telemetry observer calls (Probe, DecisionTracer) must be dominated by a nil check",
+	Name: "probeguard",
+	Doc:  "telemetry observer calls (Probe, DecisionTracer) must be dominated by a nil check",
+	Help: "Probes and tracers are optional observers; calling one unguarded " +
+		"turns \"observability off\" into a nil-pointer crash. Dominate every " +
+		"observer call with an explicit nil check.",
 	Default: true,
 	Run:     runProbeGuard,
 }

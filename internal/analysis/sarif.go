@@ -34,8 +34,10 @@ type sarifDriver struct {
 }
 
 type sarifRule struct {
-	ID               string       `json:"id"`
-	ShortDescription sarifMessage `json:"shortDescription"`
+	ID               string        `json:"id"`
+	ShortDescription sarifMessage  `json:"shortDescription"`
+	FullDescription  *sarifMessage `json:"fullDescription,omitempty"`
+	Help             *sarifMessage `json:"help,omitempty"`
 }
 
 type sarifMessage struct {
@@ -75,19 +77,24 @@ type sarifRegion struct {
 func SARIF(diags []Diagnostic) ([]byte, error) {
 	ruleIndex := make(map[string]int)
 	var rules []sarifRule
-	addRule := func(id, doc string) {
+	addRule := func(id, doc, help string) {
 		if _, ok := ruleIndex[id]; ok {
 			return
 		}
 		ruleIndex[id] = len(rules)
-		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: doc}})
+		rule := sarifRule{ID: id, ShortDescription: sarifMessage{Text: doc}}
+		if help != "" {
+			rule.FullDescription = &sarifMessage{Text: help}
+			rule.Help = &sarifMessage{Text: help}
+		}
+		rules = append(rules, rule)
 	}
 	for _, a := range Analyzers() {
-		addRule(a.Name, a.Doc)
+		addRule(a.Name, a.Doc, a.Help)
 	}
 	results := make([]sarifResult, 0, len(diags))
 	for _, d := range diags {
-		addRule(d.Analyzer, d.Analyzer)
+		addRule(d.Analyzer, d.Analyzer, "")
 		text := d.Message
 		if d.Suggestion != "" {
 			text += " (" + d.Suggestion + ")"

@@ -1,0 +1,92 @@
+package gatecover
+
+import "errors"
+
+// Tuning is tracked through Config.Tuning: the gate reads Depth but
+// never looks at Width.
+type Tuning struct {
+	Depth int
+	Width int // want `field gatecover.Tuning.Width is never examined by gatecover.validate`
+}
+
+// Config is the gated configuration.
+type Config struct {
+	Mode   int
+	Shards int
+	Tuning Tuning
+	Debug  bool //tlavet:gateexempt observability only; never changes simulated results
+	//tlavet:gateexempt output formatting knob
+	Trace   bool // want `stale //tlavet:gateexempt: field gatecover.Config.Trace IS examined by gatecover.validate`
+	Unknown int  //  want `field gatecover.Config.Unknown is never examined by gatecover.validate`
+	//tlavet:gateexempt
+	NoWhy int // want `gateexempt directive has no reason` `field gatecover.Config.NoWhy is never examined`
+	Aux   *Extra
+}
+
+// Extra is reached from Config only through a pointer: rejecting the
+// reference (the nil check in validate) is the whole obligation, so
+// Pad is never tracked and draws no diagnostic.
+type Extra struct {
+	Pad int
+}
+
+// validate gates a Config for the restricted mode.
+//
+//tlavet:gatecover Config
+func validate(cfg Config) error {
+	if cfg.Mode != 0 {
+		return errors.New("mode")
+	}
+	if cfg.Aux != nil {
+		return errors.New("aux")
+	}
+	if cfg.Shards < 1 {
+		return errors.New("shards")
+	}
+	if cfg.Tuning.Depth > 4 {
+		return errors.New("depth")
+	}
+	if cfg.Trace {
+		return errors.New("trace")
+	}
+	return nil
+}
+
+// Outer/Inner exercise whole-value delegation: passing o.Inner to a
+// gate annotated for Inner covers Inner's fields from gateOuter's
+// point of view, and gateInner independently proves them examined.
+type Outer struct {
+	Inner Inner
+	Flag  bool
+}
+
+// Inner is gated by gateInner.
+type Inner struct {
+	A int
+	B int
+}
+
+// gateOuter delegates the nested struct to its own gate.
+//
+//tlavet:gatecover Outer
+func gateOuter(o Outer) error {
+	if o.Flag {
+		return errors.New("flag")
+	}
+	return gateInner(o.Inner)
+}
+
+// gateInner examines every field of Inner.
+//
+//tlavet:gatecover Inner
+func gateInner(in Inner) error {
+	if in.A+in.B > 0 {
+		return errors.New("ab")
+	}
+	return nil
+}
+
+// badRef names a type that does not exist.
+//
+//tlavet:gatecover Nope
+func badRef() error { return nil } // want `gatecover target Nope is not a struct type`

@@ -1,0 +1,90 @@
+package llcwrite
+
+// Cache is the modelled LLC: Lookup and Fill mutate (the lookup memo
+// and the tag array), SetIndex and Peek are pure.
+type Cache struct {
+	tags []uint64
+	last uint64
+}
+
+// Lookup probes for la, recording it in the lookup memo.
+func (c *Cache) Lookup(la uint64) bool {
+	c.last = la
+	for _, t := range c.tags {
+		if t == la {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs la.
+func (c *Cache) Fill(la uint64) { c.tags[0] = la }
+
+// SetIndex maps an address to its set; read-only.
+func (c *Cache) SetIndex(la uint64) int { return int(la) % len(c.tags) }
+
+// Peek reads a tag; read-only.
+func (c *Cache) Peek(i int) uint64 { return c.tags[i] }
+
+// Sink observes LLC operations.
+type Sink interface{ Op(la uint64) }
+
+// Hier owns one LLC-owned cache and one private cache.
+type Hier struct {
+	// llc is LLC-owned: capture-phase mutations must go through the
+	// accessor set.
+	//
+	//tlavet:llcstate
+	llc  *Cache
+	l1   *Cache
+	sink Sink
+}
+
+// lookup is the legal accessor: it announces the operation before
+// touching the LLC.
+//
+//tlavet:llcaccessor fires Sink.Op before every LLC mutation
+func (h *Hier) lookup(la uint64) bool {
+	if h.sink != nil {
+		h.sink.Op(la)
+	}
+	if h.llc.Lookup(la) {
+		return true
+	}
+	h.llc.Fill(la)
+	return false
+}
+
+// idle is annotated but no longer touches LLC state.
+//
+//tlavet:llcaccessor left over from an earlier refactor
+func (h *Hier) idle() {} // want `stale //tlavet:llcaccessor: llcwrite.Hier.idle neither writes nor mutates LLC-owned state`
+
+// why has a reasonless directive, which exempts nothing.
+//
+//tlavet:llcaccessor
+func (h *Hier) why(la uint64) {} // want `llcaccessor directive has no reason`
+
+// access is capture-reachable and must route mutations through the
+// accessor set.
+func (h *Hier) access(la uint64) {
+	if h.l1.Lookup(la) { // private state: mutating, but not LLC-owned
+		return
+	}
+	_ = h.llc.SetIndex(la) // pure read of LLC state: fine
+	_ = h.llc.Peek(0)      // pure read: fine
+	if !h.lookup(la) {
+		h.llc.Fill(la) // want `call to Fill mutates LLC-owned state llcwrite.Hier.llc outside the //tlavet:llcaccessor set`
+	}
+	h.llc.last = 0 // want `write to LLC-owned state llcwrite.Hier.llc outside the //tlavet:llcaccessor set`
+}
+
+// Capture is the capture-phase entry point.
+//
+//tlavet:llccapture
+func Capture(h *Hier, n int) {
+	for i := 0; i < n; i++ {
+		h.access(uint64(i))
+	}
+}

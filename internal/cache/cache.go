@@ -73,10 +73,15 @@ type Stats struct {
 // Cache is a set-associative cache. It is not safe for concurrent use;
 // the simulator is single-goroutine by design (determinism).
 type Cache struct {
-	cfg     Config
+	//tlavet:resetexempt immutable configuration, identical for every reuse
+	cfg Config
+	//tlavet:resetexempt geometry derived from cfg at construction
 	numSets int
-	assoc   int
+	//tlavet:resetexempt geometry derived from cfg at construction
+	assoc int
+	//tlavet:resetexempt geometry derived from cfg at construction
 	offBits uint
+	//tlavet:resetexempt geometry derived from cfg at construction
 	setMask uint64
 
 	// Struct-of-arrays line state, indexed set*assoc+way. tags holds
@@ -94,6 +99,7 @@ type Cache struct {
 	nru   *replacement.NRUBits
 	srrip *replacement.SRRIPTable
 
+	//tlavet:resetexempt geometry derived from cfg at construction
 	numLines int
 
 	// One-entry lookup filter: the line address, set, and way of the
@@ -538,6 +544,8 @@ func (c *Cache) CountValid() int {
 
 // Reset invalidates every line and zeroes statistics, preserving the
 // geometry and replacement policy kind.
+//
+//tlavet:resetcover
 func (c *Cache) Reset() {
 	for i := range c.flags {
 		c.tags[i], c.flags[i] = invalidTag, 0

@@ -61,6 +61,7 @@ type pending struct {
 
 // Core models one processor core's timing. Not safe for concurrent use.
 type Core struct {
+	//tlavet:resetexempt immutable configuration, identical for every reuse
 	cfg   Config
 	cycle uint64
 	sub   int // instructions issued in the current cycle
@@ -68,6 +69,7 @@ type Core struct {
 
 	// queue is a FIFO ring of outstanding memory operations, oldest
 	// first (program order == allocation order, as in a ROB).
+	//tlavet:resetexempt ring contents are dead once head/count are zeroed; slots are overwritten before use
 	queue []pending
 	head  int
 	count int
@@ -197,6 +199,8 @@ func (c *Core) IPC() float64 {
 }
 
 // Reset returns the core to its initial state.
+//
+//tlavet:resetcover
 func (c *Core) Reset() {
 	c.cycle, c.sub, c.seq = 0, 0, 0
 	c.head, c.count = 0, 0

@@ -188,19 +188,31 @@ func DefaultLatencies() Latencies { return Latencies{L1: 1, L2: 10, LLC: 24, Mem
 // Config describes a complete hierarchy. DefaultConfig supplies the
 // paper's baseline; tests and experiments tweak single fields.
 type Config struct {
-	Cores    int
+	//tlavet:gateexempt every core count shards faithfully; the capture phase runs each core independently
+	Cores int
+	//tlavet:gateexempt any geometry shards faithfully; shard boundaries are set-aligned for every line size
 	LineSize int64
 
-	L1ISize  int64
+	//tlavet:gateexempt private-cache geometry is reproduced exactly by the capture phase
+	L1ISize int64
+	//tlavet:gateexempt private-cache geometry is reproduced exactly by the capture phase
 	L1IAssoc int
-	L1DSize  int64
+	//tlavet:gateexempt private-cache geometry is reproduced exactly by the capture phase
+	L1DSize int64
+	//tlavet:gateexempt private-cache geometry is reproduced exactly by the capture phase
 	L1DAssoc int
-	L2Size   int64
-	L2Assoc  int
-	LLCSize  int64
+	//tlavet:gateexempt private-cache geometry is reproduced exactly by the capture phase
+	L2Size int64
+	//tlavet:gateexempt private-cache geometry is reproduced exactly by the capture phase
+	L2Assoc int
+	//tlavet:gateexempt any LLC size shards faithfully; replay partitions the same set space
+	LLCSize int64
+	//tlavet:gateexempt any LLC associativity shards faithfully; sets stay whole within a shard
 	LLCAssoc int
 
-	L1Policy  replacement.Kind // LRU in the paper
+	//tlavet:gateexempt private-cache policies run inside the capture phase, untouched by LLC partitioning
+	L1Policy replacement.Kind // LRU in the paper
+	//tlavet:gateexempt private-cache policies run inside the capture phase, untouched by LLC partitioning
 	L2Policy  replacement.Kind // LRU in the paper
 	LLCPolicy replacement.Kind // NRU in the paper
 
@@ -211,19 +223,24 @@ type Config struct {
 	// TLHPerMille sends hints for only that fraction of hits (1000 =
 	// every hit), implementing the paper's hint-filtering sensitivity
 	// study; sampling is a deterministic counter, not randomness.
-	TLHSources  CacheSet
+	//tlavet:gateexempt only read under TLATLH, which the gate rejects
+	TLHSources CacheSet
+	//tlavet:gateexempt only read under TLATLH, which the gate rejects
 	TLHPerMille int
 
 	// QBSProbe selects which caches a QBS query consults; QBSMaxQueries
 	// bounds queries per miss (0 means the LLC associativity, which is
 	// effectively unlimited — the paper shows saturation by 2–4).
-	QBSProbe      CacheSet
+	//tlavet:gateexempt only read under TLAQBS, which the gate rejects
+	QBSProbe CacheSet
+	//tlavet:gateexempt only read under TLAQBS, which the gate rejects
 	QBSMaxQueries int
 	// QBSEvictSaved selects the paper's "modified QBS" (footnote 6):
 	// a query that finds the candidate resident still promotes it in
 	// the LLC but also invalidates it from the core caches, like ECI.
 	// The paper finds it performs like plain QBS, proving QBS's benefit
 	// is avoiding memory latency rather than core-cache hit latency.
+	//tlavet:gateexempt only read under TLAQBS, which the gate rejects
 	QBSEvictSaved bool
 
 	// L2Inclusive makes each private L2 inclusive of its core's L1s
@@ -232,13 +249,17 @@ type Config struct {
 	// query based selection at the L2 — L2 victim candidates resident
 	// in an L1 are promoted instead of evicted — which is the footnote's
 	// "TLA policies can be applied at the L2 cache" remedy.
+	//tlavet:gateexempt an inclusive private L2 couples only L1s to the L2, never private caches to the LLC
 	L2Inclusive bool
-	L2QBS       bool
+	//tlavet:gateexempt an inclusive private L2 couples only L1s to the L2, never private caches to the LLC
+	L2QBS bool
 
 	// EnablePrefetch turns on the per-core stream prefetcher (trains on
 	// L2 demand misses, fills the L2). Prefetcher geometry follows
 	// prefetch.Config defaults unless PrefetchConfig is set.
+	//tlavet:gateexempt prefetch trains and fills on the private side; its LLC fills are captured as LLCOpPrefetch
 	EnablePrefetch bool
+	//tlavet:gateexempt prefetch trains and fills on the private side; its LLC fills are captured as LLCOpPrefetch
 	PrefetchConfig prefetch.Config
 
 	// VictimCacheEntries, when positive, attaches a fully-associative
@@ -252,6 +273,7 @@ type Config struct {
 	// directory names. Functionally identical on private workloads but
 	// multiplies message traffic — the ablation for the Core i7-style
 	// directory the paper's footnote 1 assumes.
+	//tlavet:gateexempt only read on inclusive or TLA invalidation paths, which the gate rejects
 	BroadcastInvalidate bool
 
 	// LLCBanks, when positive, models a banked LLC: demand accesses to
@@ -261,9 +283,11 @@ type Config struct {
 	// (0, unbanked) matches that fixed-latency model, and enabling
 	// banks refines it. Callers must then use AccessAt with real clock
 	// values for the queueing to be meaningful (internal/sim does).
-	LLCBanks      int
+	LLCBanks int
+	//tlavet:gateexempt only meaningful with LLCBanks > 0, which the gate rejects
 	BankOccupancy uint64
 
+	//tlavet:gateexempt fixed latencies apply identically in sharded replay; no state couples through them
 	Latency Latencies
 }
 
@@ -395,19 +419,30 @@ type Traffic struct {
 // Hierarchy is a complete simulated cache hierarchy. Not safe for
 // concurrent use: the simulator is single-goroutine for determinism.
 type Hierarchy struct {
+	//tlavet:resetexempt immutable configuration, identical for every reuse
 	cfg Config
 
 	l1i []*cache.Cache
 	l1d []*cache.Cache
 	l2  []*cache.Cache
+	// llc is the shared last-level cache. In capture-phase-reachable
+	// code (the sharded runner's phase 1) every mutation must go
+	// through a //tlavet:llcaccessor function so the LLCOpSink stream
+	// stays complete — the llcwrite prover enforces it.
+	//
+	//tlavet:llcstate
 	llc *cache.Cache
 
-	pf  []*prefetch.Streamer
+	pf []*prefetch.Streamer
+	// vc extends the LLC and is owned state for the same reason.
+	//
+	//tlavet:llcstate
 	vc  *victimCache
 	buf []uint64 // scratch for prefetch addresses
 
 	hintClock uint64 // deterministic TLH sampling counter
-	tlhOn     bool   // cfg.TLA == TLATLH, hoisted out of the L1-hit path
+	//tlavet:resetexempt derived from cfg.TLA at construction, never varies
+	tlhOn bool // cfg.TLA == TLATLH, hoisted out of the L1-hit path
 
 	// lastILine memoizes, per core, the L1I line of the most recent
 	// instruction fetch when that fetch hit. Sequential code re-fetches
@@ -418,7 +453,8 @@ type Hierarchy struct {
 	// never arms one because L1 hits must still deliver hints.
 	lastILine []uint64
 
-	bankFree      []uint64 // per-bank next-free cycle (LLCBanks > 0)
+	bankFree []uint64 // per-bank next-free cycle (LLCBanks > 0)
+	//tlavet:resetexempt derived from cfg at construction, never varies
 	bankOccupancy uint64
 
 	// probe receives typed telemetry events when non-nil. Every fire
@@ -447,6 +483,8 @@ type Hierarchy struct {
 
 // New builds a hierarchy from cfg, validating the configuration and
 // every cache geometry.
+//
+//tlavet:llcaccessor pre-capture construction; no sink can be attached before New returns
 func New(cfg Config) (*Hierarchy, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -516,7 +554,11 @@ func New(cfg Config) (*Hierarchy, error) {
 // simulator re-attaches its own observers at the warmup boundary.
 //
 // Reset-then-rerun must be indistinguishable from fresh-build-then-run;
-// the reset-equivalence regression tests pin that byte-for-byte.
+// the reset-equivalence regression tests pin that byte-for-byte; the
+// resetcover prover enforces the field inventory statically.
+//
+//tlavet:resetcover
+//tlavet:llcaccessor pre-capture pool reinitialisation; runs before a sink attaches
 func (h *Hierarchy) Reset() {
 	for c := 0; c < h.cfg.Cores; c++ {
 		h.l1i[c].Reset()

@@ -30,6 +30,7 @@ const (
 // methods directly (no interface dispatch), keeping the Policy
 // interface for construction, tests, and checker hooks.
 type LRUStack struct {
+	//tlavet:resetexempt geometry fixed at construction, identical for every reuse
 	assoc  int
 	packed []uint64 // assoc <= 16: packed[set], nibble p = way at position p
 	stack  []uint8  // assoc > 16: stack[set*assoc+pos] = way

@@ -11,6 +11,7 @@ package replacement
 // hot path (see LRUStack). Reference bits live in one flat backing
 // array indexed set*assoc+way.
 type NRUBits struct {
+	//tlavet:resetexempt geometry fixed at construction, identical for every reuse
 	assoc int
 	ref   []bool  // ref[set*assoc+way]
 	live  []int32 // number of set bits per set, to detect generations

@@ -107,6 +107,12 @@ type Policy interface {
 // adaptive state (recency orders, reference bits, fill counters,
 // set-dueling selectors).
 type StateResetter interface {
+	// ResetState returns the policy to its freshly constructed state.
+	// The resetcover prover checks every implementation: each field of
+	// the implementing type must be restored here (or by a helper it
+	// calls) or carry a //tlavet:resetexempt justification.
+	//
+	//tlavet:resetcover
 	ResetState()
 }
 

@@ -5,6 +5,7 @@ package replacement
 // replacement state changes, preserving the Policy contract that
 // repeated Victim calls agree.
 type random struct {
+	//tlavet:resetexempt geometry fixed at construction, identical for every reuse
 	assoc  int
 	state  uint64
 	victim []int // latched victim per set, -1 when stale

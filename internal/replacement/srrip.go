@@ -11,9 +11,11 @@ package replacement
 // hot path (see LRUStack). RRPVs live in one flat backing array indexed
 // set*assoc+way.
 type SRRIPTable struct {
+	//tlavet:resetexempt geometry fixed at construction, identical for every reuse
 	assoc int
-	max   uint8
-	rrpv  []uint8 // rrpv[set*assoc+way]
+	//tlavet:resetexempt derived from srripBits at construction, never varies
+	max  uint8
+	rrpv []uint8 // rrpv[set*assoc+way]
 }
 
 const srripBits = 2

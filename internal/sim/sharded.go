@@ -65,6 +65,12 @@ func shardableLLCPolicy(kind replacement.Kind) bool {
 }
 
 // validateSharded reports the first reason cfg cannot run sharded.
+// The gatecover prover obliges it to examine (or the field to exempt)
+// every knob of the simulation and hierarchy configurations: a knob
+// the gate has never heard of cannot silently redefine what a faithful
+// sharded run means.
+//
+//tlavet:gatecover Config hierarchy.Config
 func validateSharded(cfg Config, shards int) error {
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -136,6 +142,12 @@ type capture struct {
 // and records its LLC-bound operations; out's counters cover the
 // measurement window only, while out.rec covers warmup too (replay
 // needs the warmup operations to warm the LLC image).
+//
+// It is the llcwrite prover's capture root: everything reachable from
+// here may only mutate LLC-owned state through the annotated accessor
+// set, which is what makes the captured operation stream complete.
+//
+//tlavet:llccapture
 func captureCore(cfg Config, core int, stream trace.Generator, out *capture) error {
 	h1 := cfg.Hierarchy
 	h1.Cores = 1
